@@ -1,0 +1,76 @@
+//! Ablation A5 — sequential vs parallel FLATTEN (our extension; the
+//! paper's Algorithm 7 flattens sequentially). The label forest is the
+//! real one produced by PAREMSP's scan + merge phases on a label-heavy
+//! image, restored from a snapshot between iterations.
+//!
+//! Expected shape: flatten is a small fraction of total time (Figure
+//! 5a ≈ 5b), so the parallel version only pays off on label spaces in
+//! the tens of millions — the bench shows where the crossover sits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ccl_core::par::partition::{partition_rows, total_label_slots};
+use ccl_core::scan::scan_two_line;
+use ccl_datasets::synth::noise::bernoulli;
+use ccl_unionfind::par::ConcurrentParents;
+
+/// Builds the post-scan parent forest for a dense noise image (noise
+/// maximizes provisional label counts).
+fn build_forest(side: usize) -> Vec<u32> {
+    let img = bernoulli(side, side, 0.48, 61);
+    let chunks = partition_rows(side, side, 8);
+    let parents = ConcurrentParents::new(total_label_slots(&chunks));
+    let mut labels = vec![0u32; side * side];
+    let mut rest: &mut [u32] = &mut labels;
+    for chunk in &chunks {
+        let (mine, tail) = rest.split_at_mut(chunk.num_rows() * side);
+        rest = tail;
+        let mut store = parents.chunk_store();
+        scan_two_line(
+            &img,
+            chunk.rows.clone(),
+            mine,
+            &mut store,
+            chunk.label_offset,
+        );
+    }
+    parents.snapshot()
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_flatten");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for side in [1024usize, 2048] {
+        let snapshot = build_forest(side);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("{side}x{side}")),
+            &snapshot,
+            |b, snap| {
+                b.iter_batched(
+                    || ConcurrentParents::from_snapshot(snap),
+                    |mut p| black_box(p.flatten_sparse()),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        for threads in [4usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel-{threads}"), format!("{side}x{side}")),
+                &snapshot,
+                |b, snap| {
+                    b.iter_batched(
+                        || ConcurrentParents::from_snapshot(snap),
+                        |mut p| black_box(p.flatten_sparse_parallel(threads)),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flatten);
+criterion_main!(benches);

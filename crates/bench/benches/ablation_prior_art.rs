@@ -1,0 +1,37 @@
+//! Ablation A4 — prior-art parallel baseline: PAREMSP vs the
+//! strip-parallel repeated-pass algorithm (the Suzuki-style OpenMP
+//! parallelization of the paper's §II, which peaked at 2.5× on 4
+//! threads). Same images, same thread counts.
+//!
+//! Expected shape: multipass is drastically slower sequentially and its
+//! speedup saturates almost immediately, while PAREMSP keeps scaling —
+//! the gap is the paper's raison d'être for two-pass parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccl_core::par::{multipass_parallel, paremsp};
+use ccl_datasets::synth::landcover::{landcover, LandcoverParams};
+
+fn bench_prior_art(c: &mut Criterion) {
+    let img = landcover(1024, 768, LandcoverParams::default(), 51);
+    let mut group = c.benchmark_group("ablation_prior_art");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Bytes(img.raster_bytes() as u64));
+    for threads in [1usize, 4, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("paremsp", threads), &img, |b, img| {
+            b.iter(|| black_box(paremsp(img, threads)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("multipass-par", threads),
+            &img,
+            |b, img| b.iter(|| black_box(multipass_parallel(img, threads))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prior_art);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation A2 — the scan strategy: decision tree (one line) vs two-line
+//! scan at a fixed union-find (RemSP), across a foreground-density sweep.
+//! This isolates the CCLREMSP-vs-AREMSP difference of Table II.
+//!
+//! Expected shape: two-line ahead everywhere (half the line traversals);
+//! the gap widens at high density where the two-pixel step pays most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccl_core::seq::{two_pass_with, ScanStrategy};
+use ccl_datasets::synth::noise::bernoulli;
+use ccl_unionfind::RemSP;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scan");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for density in [10u64, 30, 50, 70, 90] {
+        let img = bernoulli(768, 768, density as f64 / 100.0, 31 + density);
+        group.throughput(Throughput::Bytes(img.raster_bytes() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("decision-tree", format!("d{density}")),
+            &img,
+            |b, img| b.iter(|| black_box(two_pass_with::<RemSP>(img, ScanStrategy::DecisionTree))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two-line", format!("d{density}")),
+            &img,
+            |b, img| b.iter(|| black_box(two_pass_with::<RemSP>(img, ScanStrategy::TwoLine))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

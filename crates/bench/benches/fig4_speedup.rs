@@ -1,0 +1,53 @@
+//! Criterion companion to Figure 4: sequential AREMSP vs PAREMSP at the
+//! figure's thread counts on one ≤ 1 Mpixel image per small family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccl_bench::FIG4_THREADS;
+use ccl_core::par::paremsp;
+use ccl_core::seq::aremsp;
+use ccl_datasets::synth::blobs::{blob_field, BlobParams};
+use ccl_datasets::synth::shapes::text_page;
+use ccl_datasets::synth::texture::grating;
+
+fn bench_fig4(c: &mut Criterion) {
+    let images = vec![
+        (
+            "aerial",
+            blob_field(
+                1024,
+                1024,
+                BlobParams {
+                    coverage: 0.3,
+                    min_radius: 3,
+                    max_radius: 24,
+                },
+                11,
+            ),
+        ),
+        ("texture", grating(1024, 1024, 0.23, 0.31, 0.0)),
+        ("misc", text_page(1024, 1024, 2, 12)),
+    ];
+    let mut group = c.benchmark_group("fig4_speedup");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for (name, img) in &images {
+        group.throughput(Throughput::Bytes(img.raster_bytes() as u64));
+        group.bench_with_input(BenchmarkId::new("seq-aremsp", name), img, |b, img| {
+            b.iter(|| black_box(aremsp(img)))
+        });
+        for &threads in &FIG4_THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("par-{threads}"), name),
+                img,
+                |b, img| b.iter(|| black_box(paremsp(img, threads))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

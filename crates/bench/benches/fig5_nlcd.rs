@@ -1,0 +1,35 @@
+//! Criterion companion to Figure 5: PAREMSP thread sweep on NLCD-like
+//! images of increasing size (Table III indices 1, 3 and 6 at bench
+//! scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccl_core::par::paremsp;
+use ccl_datasets::suite::nlcd_image;
+
+fn bench_fig5(c: &mut Criterion) {
+    // scale 0.02 → image 1 ≈ 0.24 Mpixel … image 6 ≈ 9.3 Mpixel
+    let images: Vec<_> = [1usize, 3, 6]
+        .iter()
+        .map(|&i| nlcd_image(i, 0.02))
+        .collect();
+    let mut group = c.benchmark_group("fig5_nlcd");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for img in &images {
+        group.throughput(Throughput::Bytes(img.image.raster_bytes() as u64));
+        for threads in [1usize, 4, 12, 24] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads-{threads}"), &img.name),
+                &img.image,
+                |b, image| b.iter(|| black_box(paremsp(image, threads))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion companion to Table II: the four sequential algorithms on one
+//! representative image per family (scaled down so `cargo bench` stays
+//! quick; the `table2` binary runs the full-size sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccl_core::Algorithm;
+use ccl_datasets::synth::blobs::{blob_field, BlobParams};
+use ccl_datasets::synth::landcover::{landcover, LandcoverParams};
+use ccl_datasets::synth::shapes::shape_scene;
+use ccl_datasets::synth::texture::stripes;
+
+fn bench_table2(c: &mut Criterion) {
+    let images = vec![
+        (
+            "aerial",
+            blob_field(
+                512,
+                512,
+                BlobParams {
+                    coverage: 0.3,
+                    min_radius: 2,
+                    max_radius: 20,
+                },
+                1,
+            ),
+        ),
+        ("texture", stripes(512, 512, 8, 4, (1, 1))),
+        ("misc", shape_scene(512, 512, 80, 2)),
+        ("nlcd", landcover(768, 576, LandcoverParams::default(), 3)),
+    ];
+    let mut group = c.benchmark_group("table2_sequential");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for (name, img) in &images {
+        group.throughput(Throughput::Bytes(img.raster_bytes() as u64));
+        for algo in Algorithm::table2() {
+            group.bench_with_input(BenchmarkId::new(algo.name(), name), img, |b, img| {
+                b.iter(|| black_box(algo.run(img)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

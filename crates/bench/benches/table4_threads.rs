@@ -1,0 +1,40 @@
+//! Criterion companion to Table IV: PAREMSP at the paper's thread counts
+//! (2, 6, 16, 24) on a small and a mid-size image.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccl_bench::TABLE4_THREADS;
+use ccl_core::par::paremsp;
+use ccl_datasets::synth::landcover::{landcover, LandcoverParams};
+
+fn bench_table4(c: &mut Criterion) {
+    let images = vec![
+        (
+            "small-0.27MB",
+            landcover(640, 416, LandcoverParams::default(), 5),
+        ),
+        (
+            "mid-2.4MB",
+            landcover(1792, 1344, LandcoverParams::default(), 6),
+        ),
+    ];
+    let mut group = c.benchmark_group("table4_paremsp");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for (name, img) in &images {
+        group.throughput(Throughput::Bytes(img.raster_bytes() as u64));
+        for &threads in &TABLE4_THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads-{threads}"), name),
+                img,
+                |b, img| b.iter(|| black_box(paremsp(img, threads))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Runs the full reproduction sweep (Tables II–IV, Figures 4–5) in one
+//! process and writes JSON results under `results/`.
+//!
+//! ```text
+//! cargo run --release -p ccl-bench --bin repro_all [--scale F] [--reps N]
+//! ```
+
+use std::process::Command;
+
+use ccl_bench::BinArgs;
+
+const USAGE: &str = "repro_all: run table2, table4, fig4 and fig5 with shared settings
+  --scale F    NLCD size factor vs Table III (default 0.05)
+  --reps N     repetitions per timing cell (default 3)";
+
+fn main() {
+    let args = BinArgs::parse(USAGE);
+    std::fs::create_dir_all("results").expect("create results dir");
+    let exe = std::env::current_exe().expect("current exe path");
+    let bindir = exe.parent().expect("bin dir").to_path_buf();
+    let scale = args.scale.to_string();
+    let reps = args.reps.to_string();
+    for (bin, needs_scale) in [
+        ("table2", true),
+        ("table4", true),
+        ("fig4", false),
+        ("fig5", true),
+    ] {
+        let mut cmd = Command::new(bindir.join(bin));
+        cmd.arg("--reps").arg(&reps);
+        if needs_scale {
+            cmd.arg("--scale").arg(&scale);
+        }
+        cmd.arg("--json").arg(format!("results/{bin}.json"));
+        println!("==> {bin}");
+        let status = cmd.status().unwrap_or_else(|e| {
+            eprintln!(
+                "failed to launch {bin}: {e}\n(build all bins first: \
+                 cargo build --release -p ccl-bench --bins)"
+            );
+            std::process::exit(1);
+        });
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("all experiments complete; JSON in results/");
+}

@@ -1,0 +1,111 @@
+//! Table II — sequential execution times (min/avg/max, ms) of CCLLRPC,
+//! CCLREMSP, ARUN and AREMSP over the four dataset families.
+//!
+//! ```text
+//! cargo run --release -p ccl-bench --bin table2 [--scale F] [--reps N] [--json PATH]
+//! ```
+
+use ccl_bench::BinArgs;
+use ccl_core::Algorithm;
+use ccl_datasets::harness::time_best_of;
+use ccl_datasets::report::{write_json, Table};
+use ccl_datasets::stats::Summary;
+use ccl_datasets::suite::{nlcd, small_families, Family};
+use serde::Serialize;
+
+const USAGE: &str = "table2: reproduce Table II (sequential algorithm comparison)
+  --scale F    NLCD size factor vs Table III (default 0.05)
+  --reps N     repetitions per timing cell (default 3)
+  --json PATH  write machine-readable results";
+
+#[derive(Serialize)]
+struct FamilyResult {
+    family: String,
+    /// per-algorithm min/avg/max in paper column order
+    summaries: Vec<(String, Summary)>,
+}
+
+fn measure_family(family: &Family, reps: usize) -> FamilyResult {
+    let algos = Algorithm::table2();
+    let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+    for img in &family.images {
+        for (ai, algo) in algos.iter().enumerate() {
+            let ms = time_best_of(reps, || algo.run(&img.image));
+            per_algo[ai].push(ms);
+        }
+    }
+    FamilyResult {
+        family: family.name.to_string(),
+        summaries: algos
+            .iter()
+            .zip(per_algo)
+            .map(|(a, times)| (a.name(), Summary::of(&times).expect("non-empty family")))
+            .collect(),
+    }
+}
+
+fn main() {
+    let args = BinArgs::parse(USAGE);
+    let mut families = small_families();
+    families.push(nlcd(args.scale));
+
+    println!("Table II: comparison of sequential execution times [ms]");
+    println!(
+        "(synthetic stand-in datasets; NLCD at scale {} of Table III)\n",
+        args.scale
+    );
+
+    let algos = Algorithm::table2();
+    let mut table = Table::new(
+        std::iter::once("Image type / stat".to_string())
+            .chain(algos.iter().map(|a| a.name()))
+            .collect::<Vec<_>>(),
+    );
+    let mut results = Vec::new();
+    for family in &families {
+        eprintln!(
+            "measuring {} ({} images)…",
+            family.name,
+            family.images.len()
+        );
+        let res = measure_family(family, args.reps);
+        for (row_idx, label) in Summary::ROW_LABELS.iter().enumerate() {
+            let mut row = vec![format!("{} {}", res.family, label)];
+            for (_, summary) in &res.summaries {
+                row.push(format!("{:.2}", summary.row(row_idx)));
+            }
+            table.push_row(row);
+        }
+        results.push(res);
+    }
+    println!("{}", table.render());
+
+    // headline claim check: AREMSP vs CCLLRPC and ARUN on averages
+    let mut rel_lrpc = Vec::new();
+    let mut rel_arun = Vec::new();
+    for res in &results {
+        let avg = |name: &str| {
+            res.summaries
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.avg)
+                .unwrap()
+        };
+        rel_lrpc.push(avg("CCLLRPC") / avg("ARemSP"));
+        rel_arun.push(avg("ARun") / avg("ARemSP"));
+    }
+    let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "ARemSP vs CCLLRPC: {:.1}% faster (geo-mean of family averages; paper: 39%)",
+        (gm(&rel_lrpc) - 1.0) * 100.0
+    );
+    println!(
+        "ARemSP vs ARun:    {:.1}% faster (geo-mean of family averages; paper: 4%)",
+        (gm(&rel_arun) - 1.0) * 100.0
+    );
+
+    if let Some(path) = &args.json {
+        write_json(path, &results).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Table IV — PAREMSP execution times (min/avg/max, ms) for 2/6/16/24
+//! threads over the four dataset families.
+//!
+//! ```text
+//! cargo run --release -p ccl-bench --bin table4 [--scale F] [--reps N] \
+//!     [--threads 2,6,16,24] [--json PATH]
+//! ```
+
+use ccl_bench::{BinArgs, TABLE4_THREADS};
+use ccl_core::par::paremsp;
+use ccl_datasets::harness::time_best_of;
+use ccl_datasets::report::{write_json, Table};
+use ccl_datasets::stats::Summary;
+use ccl_datasets::suite::{nlcd, small_families};
+use serde::Serialize;
+
+const USAGE: &str = "table4: reproduce Table IV (PAREMSP times per thread count)
+  --scale F        NLCD size factor vs Table III (default 0.05)
+  --reps N         repetitions per timing cell (default 3)
+  --threads CSV    thread counts (default 2,6,16,24)
+  --json PATH      write machine-readable results";
+
+#[derive(Serialize)]
+struct FamilyResult {
+    family: String,
+    threads: Vec<usize>,
+    /// min/avg/max per thread count, same order as `threads`
+    summaries: Vec<Summary>,
+}
+
+fn main() {
+    let args = BinArgs::parse(USAGE);
+    let threads = args.threads.clone().unwrap_or(TABLE4_THREADS.to_vec());
+    let mut families = small_families();
+    families.push(nlcd(args.scale));
+
+    println!("Table IV: execution time [ms] of PAREMSP for various # threads");
+    println!(
+        "(synthetic stand-in datasets; NLCD at scale {} of Table III)\n",
+        args.scale
+    );
+
+    let mut table = Table::new(
+        std::iter::once("Image type / stat".to_string())
+            .chain(threads.iter().map(|t| t.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    let mut results = Vec::new();
+    for family in &families {
+        eprintln!(
+            "measuring {} ({} images)…",
+            family.name,
+            family.images.len()
+        );
+        let mut per_thread: Vec<Vec<f64>> = vec![Vec::new(); threads.len()];
+        for img in &family.images {
+            for (ti, &t) in threads.iter().enumerate() {
+                let ms = time_best_of(args.reps, || paremsp(&img.image, t));
+                per_thread[ti].push(ms);
+            }
+        }
+        let summaries: Vec<Summary> = per_thread
+            .iter()
+            .map(|times| Summary::of(times).expect("non-empty family"))
+            .collect();
+        for (row_idx, label) in Summary::ROW_LABELS.iter().enumerate() {
+            let mut row = vec![format!("{} {}", family.name, label)];
+            for s in &summaries {
+                row.push(format!("{:.2}", s.row(row_idx)));
+            }
+            table.push_row(row);
+        }
+        results.push(FamilyResult {
+            family: family.name.to_string(),
+            threads: threads.clone(),
+            summaries,
+        });
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper): small families stop improving (or regress) past ~16 \
+         threads; NLCD keeps improving through 24."
+    );
+
+    if let Some(path) = &args.json {
+        write_json(path, &results).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,138 @@
+//! # ccl-bench
+//!
+//! Benchmark harness reproducing **every table and figure** of Gupta et
+//! al. (IPPS 2014). Two layers:
+//!
+//! * **Table binaries** (`src/bin/`): print paper-formatted tables and
+//!   ASCII figures from full measurement sweeps —
+//!   `cargo run --release -p ccl-bench --bin table2` (and `table4`,
+//!   `fig4`, `fig5`, `repro_all`). See each binary's `--help`.
+//! * **Criterion benches** (`benches/`): statistical micro-benchmarks per
+//!   experiment plus the three design-choice ablations of DESIGN.md
+//!   (union-find variant, scan strategy, merger implementation) —
+//!   `cargo bench -p ccl-bench`.
+//!
+//! This library crate holds the shared experiment configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Thread counts of Table IV.
+pub const TABLE4_THREADS: [usize; 4] = [2, 6, 16, 24];
+
+/// Thread counts of Figure 4.
+pub const FIG4_THREADS: [usize; 5] = [2, 6, 8, 16, 24];
+
+/// Thread counts swept in Figure 5 (the paper plots 1–24).
+pub const FIG5_THREADS: [usize; 8] = [1, 2, 4, 8, 12, 16, 20, 24];
+
+/// Default NLCD scale for the table binaries: 0.05 × Table III keeps the
+/// largest image at ≈ 23 Mpixel, big enough to show near-linear scaling
+/// while regenerating in seconds. Use `--scale 1.0` for full fidelity.
+pub const DEFAULT_NLCD_SCALE: f64 = 0.05;
+
+/// Tiny CLI-argument helper shared by the table binaries: supports
+/// `--scale <f64>`, `--reps <usize>`, `--threads <csv>`, `--json <path>`,
+/// `--print-sizes` and `--help`.
+#[derive(Debug, Clone)]
+pub struct BinArgs {
+    /// NLCD scale factor (fraction of the Table III sizes).
+    pub scale: f64,
+    /// Timing repetitions per cell (best-of).
+    pub reps: usize,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Optional thread-count override.
+    pub threads: Option<Vec<usize>>,
+    /// `--print-sizes` flag (fig5: print Table III).
+    pub print_sizes: bool,
+}
+
+impl Default for BinArgs {
+    fn default() -> Self {
+        BinArgs {
+            scale: DEFAULT_NLCD_SCALE,
+            reps: 3,
+            json: None,
+            threads: None,
+            print_sizes: false,
+        }
+    }
+}
+
+impl BinArgs {
+    /// Parses `std::env::args`, printing `usage` and exiting on `--help`
+    /// or a malformed argument.
+    pub fn parse(usage: &str) -> BinArgs {
+        let mut out = BinArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}\n{usage}");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = value("--scale").parse().unwrap_or_else(|_| {
+                        eprintln!("invalid --scale\n{usage}");
+                        std::process::exit(2);
+                    })
+                }
+                "--reps" => {
+                    out.reps = value("--reps").parse().unwrap_or_else(|_| {
+                        eprintln!("invalid --reps\n{usage}");
+                        std::process::exit(2);
+                    })
+                }
+                "--json" => out.json = Some(value("--json")),
+                "--threads" => {
+                    let csv = value("--threads");
+                    let parsed: Result<Vec<usize>, _> =
+                        csv.split(',').map(str::trim).map(str::parse).collect();
+                    match parsed {
+                        Ok(t) if !t.is_empty() && t.iter().all(|&x| x >= 1) => {
+                            out.threads = Some(t)
+                        }
+                        _ => {
+                            eprintln!("invalid --threads\n{usage}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--print-sizes" => out.print_sizes = true,
+                "--help" | "-h" => {
+                    println!("{usage}");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}\n{usage}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = BinArgs::default();
+        assert_eq!(a.scale, DEFAULT_NLCD_SCALE);
+        assert!(a.reps >= 1);
+        assert!(a.json.is_none());
+        assert!(!a.print_sizes);
+    }
+
+    #[test]
+    fn thread_constants_match_paper() {
+        assert_eq!(TABLE4_THREADS, [2, 6, 16, 24]);
+        assert_eq!(FIG4_THREADS, [2, 6, 8, 16, 24]);
+        assert!(FIG5_THREADS.contains(&24));
+    }
+}

@@ -1,0 +1,203 @@
+//! Component analysis built on top of labeling — the operations the
+//! paper's motivating applications (inspection, character recognition,
+//! medical imaging) run after CCL.
+//!
+//! Hole counting labels the *background* under the complementary
+//! connectivity (4-connected background for 8-connected foreground, the
+//! standard duality that keeps the Euler number consistent).
+
+use ccl_image::{BinaryImage, Connectivity};
+
+use crate::label::LabelImage;
+use crate::seq::flood::flood_fill_label_with;
+use crate::seq::flood_fill_label;
+
+/// Removes foreground components smaller than `min_size` pixels
+/// (area opening).
+pub fn remove_small_components(image: &BinaryImage, min_size: usize) -> BinaryImage {
+    let labels = flood_fill_label(image);
+    let sizes = labels.component_sizes();
+    BinaryImage::from_fn(image.width(), image.height(), |r, c| {
+        let l = labels.get(r, c);
+        l != 0 && sizes[l as usize] >= min_size
+    })
+}
+
+/// Keeps only the largest component (ties: smallest label). An empty
+/// image stays empty.
+pub fn keep_largest_component(image: &BinaryImage) -> BinaryImage {
+    let labels = flood_fill_label(image);
+    match labels.largest_component() {
+        Some(l) => labels.component_mask(l),
+        None => BinaryImage::zeros(image.width(), image.height()),
+    }
+}
+
+/// Number of holes: background components (under the connectivity dual
+/// to `conn`) that do not touch the image border.
+pub fn count_holes(image: &BinaryImage, conn: Connectivity) -> u32 {
+    let dual = match conn {
+        Connectivity::Eight => Connectivity::Four,
+        Connectivity::Four => Connectivity::Eight,
+    };
+    let bg = image.inverted();
+    let labels = flood_fill_label_with(&bg, dual);
+    let (w, h) = (image.width(), image.height());
+    if w == 0 || h == 0 {
+        return 0;
+    }
+    let mut touches_border = vec![false; labels.num_components() as usize + 1];
+    for c in 0..w {
+        touches_border[labels.get(0, c) as usize] = true;
+        touches_border[labels.get(h - 1, c) as usize] = true;
+    }
+    for r in 0..h {
+        touches_border[labels.get(r, 0) as usize] = true;
+        touches_border[labels.get(r, w - 1) as usize] = true;
+    }
+    (1..=labels.num_components() as usize)
+        .filter(|&l| !touches_border[l])
+        .count() as u32
+}
+
+/// Euler number: components minus holes (under `conn` for the foreground
+/// and its dual for the background).
+pub fn euler_number(image: &BinaryImage, conn: Connectivity) -> i64 {
+    let components = flood_fill_label_with(image, conn).num_components() as i64;
+    components - count_holes(image, conn) as i64
+}
+
+/// Per-component summary produced by [`region_properties`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// The component's label.
+    pub label: u32,
+    /// Pixel count.
+    pub area: usize,
+    /// Inclusive bounding box `(min_row, min_col, max_row, max_col)`.
+    pub bbox: (usize, usize, usize, usize),
+    /// Centroid `(mean_row, mean_col)`.
+    pub centroid: (f64, f64),
+    /// Area divided by bounding-box area, in `(0, 1]` (1 = solid box).
+    pub extent: f64,
+}
+
+/// Computes per-component properties from a labeling.
+pub fn region_properties(labels: &LabelImage) -> Vec<Region> {
+    let sizes = labels.component_sizes();
+    let boxes = labels.bounding_boxes();
+    let centroids = labels.centroids();
+    (1..=labels.num_components() as usize)
+        .map(|l| {
+            let bbox = boxes[l - 1];
+            let bbox_area = (bbox.2 - bbox.0 + 1) * (bbox.3 - bbox.1 + 1);
+            Region {
+                label: l as u32,
+                area: sizes[l],
+                bbox,
+                centroid: centroids[l - 1],
+                extent: sizes[l] as f64 / bbox_area as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remove_small_keeps_big() {
+        let img = BinaryImage::parse(
+            "##...#
+             ##....
+             ......
+             ....#.",
+        );
+        let cleaned = remove_small_components(&img, 3);
+        assert_eq!(cleaned.count_foreground(), 4); // only the 2x2 block
+        assert_eq!(cleaned.get(0, 0), 1);
+        assert_eq!(cleaned.get(0, 5), 0);
+        assert_eq!(cleaned.get(3, 4), 0);
+    }
+
+    #[test]
+    fn keep_largest_selects_biggest() {
+        let img = BinaryImage::parse(
+            "###..#
+             ###...
+             ......",
+        );
+        let largest = keep_largest_component(&img);
+        assert_eq!(largest.count_foreground(), 6);
+        assert_eq!(
+            keep_largest_component(&BinaryImage::zeros(3, 3)).count_foreground(),
+            0
+        );
+    }
+
+    #[test]
+    fn holes_in_ring() {
+        let ring = BinaryImage::parse(
+            "#####
+             #...#
+             #####",
+        );
+        assert_eq!(count_holes(&ring, Connectivity::Eight), 1);
+        assert_eq!(euler_number(&ring, Connectivity::Eight), 0);
+        let solid = BinaryImage::ones(4, 4);
+        assert_eq!(count_holes(&solid, Connectivity::Eight), 0);
+        assert_eq!(euler_number(&solid, Connectivity::Eight), 1);
+    }
+
+    #[test]
+    fn diagonal_gap_is_not_a_hole_under_8conn() {
+        // 8-connected foreground ring with a diagonal "leak": under the
+        // 4-connected background dual, the inside still cannot escape.
+        let img = BinaryImage::parse(
+            "##.
+             #.#
+             .##",
+        );
+        // foreground is one 8-connected component; center is enclosed by
+        // 4-connectivity rules
+        assert_eq!(count_holes(&img, Connectivity::Eight), 1);
+    }
+
+    #[test]
+    fn double_hole_euler() {
+        let img = BinaryImage::parse(
+            "#########
+             #..###..#
+             #########",
+        );
+        assert_eq!(count_holes(&img, Connectivity::Eight), 2);
+        assert_eq!(euler_number(&img, Connectivity::Eight), -1);
+    }
+
+    #[test]
+    fn region_properties_basics() {
+        let img = BinaryImage::parse(
+            "##..
+             ##..
+             ...#",
+        );
+        let labels = flood_fill_label(&img);
+        let regions = region_properties(&labels);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].area, 4);
+        assert_eq!(regions[0].bbox, (0, 0, 1, 1));
+        assert!((regions[0].extent - 1.0).abs() < 1e-12);
+        assert!((regions[0].centroid.0 - 0.5).abs() < 1e-12);
+        assert_eq!(regions[1].area, 1);
+        assert_eq!(regions[1].bbox, (2, 3, 2, 3));
+    }
+
+    #[test]
+    fn empty_image_edge_cases() {
+        let empty = BinaryImage::zeros(0, 0);
+        assert_eq!(count_holes(&empty, Connectivity::Eight), 0);
+        assert_eq!(euler_number(&empty, Connectivity::Eight), 0);
+        assert!(region_properties(&flood_fill_label(&empty)).is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Strip-parallel repeated-pass labeling — the *prior art* parallel CCL
+//! baseline the paper positions PAREMSP against (§II cites Niknam,
+//! Thulasiraman & Camorlinga's OpenMP parallelization of Suzuki's
+//! repeated-pass algorithm, which peaked at a 2.5× speedup on 4 threads).
+//!
+//! Each global iteration runs a forward and a backward min-propagation
+//! sweep, parallelized over row strips. Strip-boundary reads may race
+//! with neighbour-strip writes, but min-propagation over atomics is
+//! monotone (labels only decrease) and idempotent, so races can only
+//! delay convergence, never corrupt it; iteration continues until a full
+//! sweep changes nothing. The expected (and measured — see the
+//! `ablation_prior_art` bench) behaviour is poor scaling: every iteration
+//! touches the whole image, and the iteration count grows with component
+//! "snakiness", which is exactly the weakness two-pass algorithms remove.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use ccl_image::BinaryImage;
+
+use crate::label::LabelImage;
+
+/// Strip-parallel multipass labeling (8-connectivity) on `threads`
+/// threads. Produces canonical raster numbering (like
+/// [`crate::seq::multipass`]).
+pub fn multipass_parallel(image: &BinaryImage, threads: usize) -> LabelImage {
+    let (w, h) = (image.width(), image.height());
+    if w == 0 || h == 0 {
+        return LabelImage::from_raw(w, h, vec![0; w * h], 0);
+    }
+    // initial labels: raster index + 1 for foreground, 0 background
+    let labels: Vec<AtomicU32> = (0..w * h)
+        .map(|i| {
+            AtomicU32::new(if image.as_slice()[i] == 1 {
+                (i + 1) as u32
+            } else {
+                0
+            })
+        })
+        .collect();
+    let threads = threads.max(1).min(h);
+    let rows_per_strip = h.div_ceil(threads);
+    let strips: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * rows_per_strip, ((t + 1) * rows_per_strip).min(h)))
+        .filter(|(a, b)| a < b)
+        .collect();
+
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        // forward sweep over all strips in parallel (rayon pool tasks,
+        // like the OpenMP regions of the prior-art implementation)
+        rayon::scope(|s| {
+            for &(r0, r1) in &strips {
+                let labels = &labels;
+                let changed = &changed;
+                s.spawn(move |_| {
+                    if sweep(labels, w, h, r0, r1, false) {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        // backward sweep
+        rayon::scope(|s| {
+            for &(r0, r1) in &strips {
+                let labels = &labels;
+                let changed = &changed;
+                s.spawn(move |_| {
+                    if sweep(labels, w, h, r0, r1, true) {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    }
+
+    // consecutive renumbering by raster order of first occurrence
+    let mut raw: Vec<u32> = labels.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let mut remap = std::collections::HashMap::new();
+    let mut next = 0u32;
+    for l in &mut raw {
+        if *l != 0 {
+            *l = *remap.entry(*l).or_insert_with(|| {
+                next += 1;
+                next
+            });
+        }
+    }
+    LabelImage::from_raw(w, h, raw, next)
+}
+
+/// One min-propagation sweep over rows `r0..r1`; returns whether any
+/// label changed. Forward sweeps read the prior mask (and self); backward
+/// sweeps the subsequent mask. Neighbour loads may observe concurrent
+/// strips mid-update; `fetch_min` keeps every update monotone.
+fn sweep(labels: &[AtomicU32], w: usize, h: usize, r0: usize, r1: usize, backward: bool) -> bool {
+    let mut changed = false;
+    let get = |r: isize, c: isize| -> u32 {
+        if r < 0 || c < 0 || r as usize >= h || c as usize >= w {
+            0
+        } else {
+            labels[r as usize * w + c as usize].load(Ordering::Relaxed)
+        }
+    };
+    let rows: Box<dyn Iterator<Item = usize>> = if backward {
+        Box::new((r0..r1).rev())
+    } else {
+        Box::new(r0..r1)
+    };
+    for r in rows {
+        let cols: Box<dyn Iterator<Item = usize>> = if backward {
+            Box::new((0..w).rev())
+        } else {
+            Box::new(0..w)
+        };
+        for c in cols {
+            let i = r * w + c;
+            let cur = labels[i].load(Ordering::Relaxed);
+            if cur == 0 {
+                continue;
+            }
+            let (ri, ci) = (r as isize, c as isize);
+            let neigh = if backward {
+                [
+                    get(ri, ci + 1),
+                    get(ri + 1, ci - 1),
+                    get(ri + 1, ci),
+                    get(ri + 1, ci + 1),
+                ]
+            } else {
+                [
+                    get(ri - 1, ci - 1),
+                    get(ri - 1, ci),
+                    get(ri - 1, ci + 1),
+                    get(ri, ci - 1),
+                ]
+            };
+            let mut m = cur;
+            for n in neigh {
+                if n != 0 && n < m {
+                    m = n;
+                }
+            }
+            if m < cur {
+                labels[i].fetch_min(m, Ordering::Relaxed);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{flood_fill_label, multipass};
+
+    fn pseudo_random_image(w: usize, h: usize, density_pct: u64, seed: u64) -> BinaryImage {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        BinaryImage::from_fn(w, h, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 100 < density_pct
+        })
+    }
+
+    #[test]
+    fn matches_flood_fill_on_random_images() {
+        for seed in 0..8 {
+            let img = pseudo_random_image(60, 44, 50, seed);
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(
+                    multipass_parallel(&img, threads),
+                    flood_fill_label(&img),
+                    "seed {seed}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_multipass() {
+        let img = pseudo_random_image(80, 60, 40, 99);
+        assert_eq!(multipass_parallel(&img, 4), multipass(&img));
+    }
+
+    #[test]
+    fn serpentine_worst_case_converges() {
+        use ccl_image::BinaryImage;
+        let w = 33;
+        let img = BinaryImage::from_fn(w, 25, |r, c| {
+            if r % 2 == 0 {
+                true
+            } else if (r / 2) % 2 == 0 {
+                c == w - 1
+            } else {
+                c == 0
+            }
+        });
+        let li = multipass_parallel(&img, 6);
+        assert_eq!(li.num_components(), 1);
+        assert_eq!(li, flood_fill_label(&img));
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(
+            multipass_parallel(&BinaryImage::zeros(0, 0), 4).num_components(),
+            0
+        );
+        assert_eq!(
+            multipass_parallel(&BinaryImage::ones(1, 1), 4).num_components(),
+            1
+        );
+        assert_eq!(
+            multipass_parallel(&BinaryImage::zeros(10, 3), 24).num_components(),
+            0
+        );
+    }
+
+    #[test]
+    fn repeated_runs_deterministic() {
+        let img = pseudo_random_image(70, 50, 55, 7);
+        let first = multipass_parallel(&img, 8);
+        for _ in 0..5 {
+            assert_eq!(multipass_parallel(&img, 8), first);
+        }
+    }
+}

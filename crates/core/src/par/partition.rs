@@ -1,0 +1,162 @@
+//! Row partitioning for PAREMSP (Algorithm 7 lines 2–7).
+//!
+//! The image is divided row-wise into per-thread chunks. Because the scan
+//! processes two rows at a time, chunk boundaries fall on even row indices
+//! (the paper: `numiter ← row/2`, `size ← 2 · chunk`). Each chunk also
+//! receives a disjoint provisional-label range, sized with the tight
+//! per-pair bound ⌈w/2⌉ (see `ccl-core::scan`), replacing the paper's
+//! looser `count ← start × col` offsets; DESIGN.md §6 discusses the
+//! difference.
+
+use std::ops::Range;
+
+/// One thread's share of the image and of the provisional label space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Image rows owned by this chunk (half-open).
+    pub rows: Range<usize>,
+    /// First provisional label this chunk may assign.
+    pub label_offset: u32,
+    /// Number of labels reserved for this chunk.
+    pub label_capacity: u32,
+}
+
+impl Chunk {
+    /// Number of rows in the chunk.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Splits `height` rows into at most `threads` chunks of even height
+/// (except possibly the last), assigning disjoint label ranges based on
+/// the two-line scan bound for a `width`-column image.
+///
+/// Returns an empty vector for an empty image. The number of chunks may be
+/// smaller than `threads` when there are fewer row pairs than threads.
+pub fn partition_rows(height: usize, width: usize, threads: usize) -> Vec<Chunk> {
+    assert!(threads >= 1, "at least one thread required");
+    if height == 0 {
+        return Vec::new();
+    }
+    let pairs = height.div_ceil(2); // numiter, counting a trailing odd row
+    let nchunks = threads.min(pairs);
+    let per_label_pair = width.div_ceil(2) as u32; // ⌈w/2⌉ labels per pair
+    let base = pairs / nchunks;
+    let extra = pairs % nchunks; // first `extra` chunks take one more pair
+    let mut chunks = Vec::with_capacity(nchunks);
+    let mut pair_start = 0usize;
+    let mut label_offset = 1u32; // label 0 = background
+    for t in 0..nchunks {
+        let npairs = base + usize::from(t < extra);
+        let row_start = pair_start * 2;
+        let row_end = ((pair_start + npairs) * 2).min(height);
+        let capacity = npairs as u32 * per_label_pair;
+        chunks.push(Chunk {
+            rows: row_start..row_end,
+            label_offset,
+            label_capacity: capacity,
+        });
+        pair_start += npairs;
+        label_offset += capacity;
+    }
+    chunks
+}
+
+/// Total provisional-label slots needed (including background slot 0) for
+/// the given partition.
+pub fn total_label_slots(chunks: &[Chunk]) -> usize {
+    chunks
+        .last()
+        .map_or(1, |c| (c.label_offset + c.label_capacity) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition(height: usize, width: usize, threads: usize) {
+        let chunks = partition_rows(height, width, threads);
+        if height == 0 {
+            assert!(chunks.is_empty());
+            return;
+        }
+        assert!(!chunks.is_empty());
+        assert!(chunks.len() <= threads);
+        // rows cover the image exactly, in order
+        assert_eq!(chunks[0].rows.start, 0);
+        assert_eq!(chunks.last().unwrap().rows.end, height);
+        for pair in chunks.windows(2) {
+            assert_eq!(pair[0].rows.end, pair[1].rows.start);
+            // boundaries on even rows
+            assert_eq!(pair[1].rows.start % 2, 0);
+            // label ranges contiguous and disjoint
+            assert_eq!(
+                pair[0].label_offset + pair[0].label_capacity,
+                pair[1].label_offset
+            );
+        }
+        for c in &chunks {
+            assert!(c.num_rows() > 0);
+            // capacity covers the scan bound for the chunk
+            let bound = crate::scan::max_labels_two_line(c.num_rows(), width);
+            assert!(
+                c.label_capacity as usize >= bound,
+                "chunk {c:?} capacity below bound {bound}"
+            );
+        }
+        assert_eq!(chunks[0].label_offset, 1);
+    }
+
+    #[test]
+    fn covers_exhaustive_small_space() {
+        for height in 0..20 {
+            for width in [0, 1, 5, 8] {
+                for threads in 1..8 {
+                    check_partition(height, width, threads);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_single_chunk() {
+        let chunks = partition_rows(11, 7, 1);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].rows, 0..11);
+        assert_eq!(chunks[0].label_offset, 1);
+    }
+
+    #[test]
+    fn more_threads_than_pairs() {
+        let chunks = partition_rows(4, 10, 16);
+        assert_eq!(chunks.len(), 2); // only 2 pairs available
+        assert_eq!(chunks[0].rows, 0..2);
+        assert_eq!(chunks[1].rows, 2..4);
+    }
+
+    #[test]
+    fn odd_height_last_chunk_odd() {
+        let chunks = partition_rows(9, 6, 2);
+        assert_eq!(chunks.last().unwrap().rows.end, 9);
+        let total: usize = chunks.iter().map(Chunk::num_rows).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn label_slots_account_for_background() {
+        let chunks = partition_rows(8, 8, 4);
+        let slots = total_label_slots(&chunks);
+        // 4 pairs x ceil(8/2)=4 labels + background
+        assert_eq!(slots, 17);
+        assert_eq!(total_label_slots(&[]), 1);
+    }
+
+    #[test]
+    fn balanced_distribution() {
+        let chunks = partition_rows(100, 10, 3);
+        // 50 pairs over 3 chunks: 17/17/16 pairs = 34/34/32 rows
+        let rows: Vec<usize> = chunks.iter().map(Chunk::num_rows).collect();
+        assert_eq!(rows, vec![34, 34, 32]);
+    }
+}

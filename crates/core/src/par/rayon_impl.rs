@@ -1,0 +1,131 @@
+//! Rayon back end for PAREMSP.
+//!
+//! Demonstrates the paper's portability claim on a second scheduler: the
+//! same four phases as [`super::paremsp`], expressed as rayon parallel
+//! iterators over the same chunk structure. Chunk count follows the
+//! current rayon pool (global by default; wrap in a custom
+//! `ThreadPool::install` to pin it).
+
+use ccl_image::BinaryImage;
+use ccl_unionfind::par::{CasMerger, ConcurrentMerger, ConcurrentParents};
+use rayon::prelude::*;
+
+use crate::label::LabelImage;
+use crate::scan::scan_two_line;
+
+use super::partition::{partition_rows, total_label_slots, Chunk};
+
+/// PAREMSP on the current rayon thread pool (CAS merger).
+pub fn paremsp_rayon(image: &BinaryImage) -> LabelImage {
+    let threads = rayon::current_num_threads();
+    let (w, h) = (image.width(), image.height());
+    let chunks = partition_rows(h, w, threads.max(1));
+    let mut labels = vec![0u32; w * h];
+    if chunks.is_empty() || w == 0 {
+        return LabelImage::from_raw(w, h, labels, 0);
+    }
+    let mut parents = ConcurrentParents::new(total_label_slots(&chunks));
+    let merger = CasMerger::new();
+
+    // Phase 1: split the label buffer into per-chunk slices, scan in
+    // parallel.
+    let mut slices: Vec<(&Chunk, &mut [u32])> = Vec::with_capacity(chunks.len());
+    {
+        let mut rest: &mut [u32] = &mut labels;
+        for chunk in &chunks {
+            let (mine, tail) = rest.split_at_mut(chunk.num_rows() * w);
+            rest = tail;
+            slices.push((chunk, mine));
+        }
+    }
+    slices.par_iter_mut().for_each(|(chunk, slice)| {
+        let mut store = parents.chunk_store();
+        scan_two_line(
+            image,
+            chunk.rows.clone(),
+            slice,
+            &mut store,
+            chunk.label_offset,
+        );
+    });
+    drop(slices);
+
+    // Phase 2: boundary rows in parallel.
+    let labels_ref = &labels;
+    chunks[1..].par_iter().for_each(|chunk| {
+        let r = chunk.rows.start;
+        let cur = r * w;
+        let up = (r - 1) * w;
+        for c in 0..w {
+            let le = labels_ref[cur + c];
+            if le == 0 {
+                continue;
+            }
+            let lb = labels_ref[up + c];
+            if lb != 0 {
+                merger.merge(&parents, le, lb);
+            } else {
+                if c > 0 && labels_ref[up + c - 1] != 0 {
+                    merger.merge(&parents, le, labels_ref[up + c - 1]);
+                }
+                if c + 1 < w && labels_ref[up + c + 1] != 0 {
+                    merger.merge(&parents, le, labels_ref[up + c + 1]);
+                }
+            }
+        }
+    });
+
+    // Phase 3: flatten.
+    let num_components = parents.flatten_sparse();
+
+    // Phase 4: relabel.
+    let parents_ref = &parents;
+    labels.par_chunks_mut(64 * 1024.max(w)).for_each(|chunk| {
+        for l in chunk {
+            *l = parents_ref.resolve(*l);
+        }
+    });
+
+    LabelImage::from_raw(w, h, labels, num_components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::aremsp;
+
+    fn pseudo_random_image(w: usize, h: usize, density_pct: u64, seed: u64) -> BinaryImage {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        BinaryImage::from_fn(w, h, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 100 < density_pct
+        })
+    }
+
+    #[test]
+    fn matches_sequential() {
+        for &(w, h, d) in &[(32usize, 32usize, 50u64), (100, 64, 20), (64, 100, 80)] {
+            let img = pseudo_random_image(w, h, d, (w + h) as u64);
+            assert_eq!(paremsp_rayon(&img), aremsp(&img), "{w}x{h} d={d}");
+        }
+    }
+
+    #[test]
+    fn custom_pool_size() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let img = pseudo_random_image(60, 60, 40, 9);
+        let li = pool.install(|| paremsp_rayon(&img));
+        assert_eq!(li, aremsp(&img));
+    }
+
+    #[test]
+    fn empty_image() {
+        let img = BinaryImage::zeros(0, 0);
+        assert_eq!(paremsp_rayon(&img).num_components(), 0);
+    }
+}

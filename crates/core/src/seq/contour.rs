@@ -1,0 +1,229 @@
+//! Contour-tracing labeling — Chang, Chen & Lu's linear-time technique
+//! (the paper's ref [4]), an additional baseline from a different
+//! algorithm family: instead of recording label equivalences, it traces
+//! each component's external and internal contours when their first
+//! pixels are met in raster order, then fills interior pixels from their
+//! left neighbours in the same single scan.
+//!
+//! Mechanics: Moore-neighbourhood tracing over directions indexed
+//! clockwise from east (0 = E, 1 = SE, …, 7 = NE). The tracer marks every
+//! probed background pixel as *visited* so an internal contour is traced
+//! exactly once (the visited marks are what replace the union-find).
+
+use ccl_image::BinaryImage;
+
+use crate::label::LabelImage;
+
+/// Clockwise direction offsets starting east.
+const DIRS: [(isize, isize); 8] = [
+    (0, 1),
+    (1, 1),
+    (1, 0),
+    (1, -1),
+    (0, -1),
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+];
+
+struct Tracing<'a> {
+    image: &'a BinaryImage,
+    labels: Vec<u32>,
+    /// visited marks for background pixels probed by the tracer
+    marks: Vec<bool>,
+    w: usize,
+    h: usize,
+}
+
+impl Tracing<'_> {
+    #[inline]
+    fn fg(&self, r: isize, c: isize) -> bool {
+        r >= 0
+            && c >= 0
+            && (r as usize) < self.h
+            && (c as usize) < self.w
+            && self.image.get(r as usize, c as usize) == 1
+    }
+
+    /// Finds the next contour point clockwise from `start_dir`, marking
+    /// probed background cells. `None` for isolated pixels.
+    fn tracer(&mut self, r: usize, c: usize, start_dir: u8) -> Option<(usize, usize, u8)> {
+        for i in 0..8u8 {
+            let d = (start_dir + i) % 8;
+            let (dr, dc) = DIRS[d as usize];
+            let (nr, nc) = (r as isize + dr, c as isize + dc);
+            if self.fg(nr, nc) {
+                return Some((nr as usize, nc as usize, d));
+            }
+            if nr >= 0 && nc >= 0 && (nr as usize) < self.h && (nc as usize) < self.w {
+                self.marks[nr as usize * self.w + nc as usize] = true;
+            }
+        }
+        None
+    }
+
+    /// Traces a full contour starting at `(r, c)`; `external` selects the
+    /// initial search direction (7 = NE for external, 3 = SW for
+    /// internal, per Chang et al.).
+    fn trace_contour(&mut self, r: usize, c: usize, label: u32, external: bool) {
+        self.labels[r * self.w + c] = label;
+        let start_dir = if external { 7 } else { 3 };
+        let Some((sr, sc, sd)) = self.tracer(r, c, start_dir) else {
+            return; // isolated pixel
+        };
+        // `second` is the first step away from the start; the contour is
+        // complete when we are back at the start about to re-enter it.
+        let (second_r, second_c) = (sr, sc);
+        let (mut cur_r, mut cur_c, mut dir) = (sr, sc, sd);
+        loop {
+            self.labels[cur_r * self.w + cur_c] = label;
+            // resume the search two steps back from the arrival direction
+            let next_start = (dir + 6) % 8;
+            let (nr, nc, nd) = self
+                .tracer(cur_r, cur_c, next_start)
+                .expect("non-isolated contour always has a successor");
+            if (cur_r, cur_c) == (r, c) && (nr, nc) == (second_r, second_c) {
+                break;
+            }
+            cur_r = nr;
+            cur_c = nc;
+            dir = nd;
+        }
+    }
+}
+
+/// Contour-tracing labeling (8-connectivity, raster numbering).
+pub fn contour_label(image: &BinaryImage) -> LabelImage {
+    let (w, h) = (image.width(), image.height());
+    let mut t = Tracing {
+        image,
+        labels: vec![0u32; w * h],
+        marks: vec![false; w * h],
+        w,
+        h,
+    };
+    let mut next = 0u32;
+    for r in 0..h {
+        for c in 0..w {
+            if image.get(r, c) == 0 {
+                continue;
+            }
+            let i = r * w + c;
+            // external contour: unlabeled pixel with background above is
+            // necessarily its component's first pixel in raster order
+            if t.labels[i] == 0 && !t.fg(r as isize - 1, c as isize) {
+                next += 1;
+                t.trace_contour(r, c, next, true);
+            }
+            // internal contour: background below, not yet visited by any
+            // tracer => an untraced hole starts here
+            if r + 1 < h && image.get(r + 1, c) == 0 && !t.marks[i + w] {
+                if t.labels[i] == 0 {
+                    // interior pixel adjacent to the hole: label flows
+                    // from the left neighbour
+                    t.labels[i] = t.labels[i - 1];
+                }
+                let label = t.labels[i];
+                t.trace_contour(r, c, label, false);
+            }
+            // interior pixel: copy the left neighbour
+            if t.labels[i] == 0 {
+                t.labels[i] = t.labels[i - 1];
+            }
+        }
+    }
+    LabelImage::from_raw(w, h, t.labels, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::flood_fill_label;
+
+    #[test]
+    fn simple_shapes() {
+        for pic in [
+            "#",
+            "##",
+            "#.#",
+            "###
+             #.#
+             ###",
+            "####
+             #..#
+             ####",
+            ".#.
+             #.#
+             .#.",
+        ] {
+            let img = BinaryImage::parse(pic);
+            assert_eq!(contour_label(&img), flood_fill_label(&img), "{pic}");
+        }
+    }
+
+    #[test]
+    fn nested_holes() {
+        let img = BinaryImage::parse(
+            "#########
+             #.......#
+             #.#####.#
+             #.#...#.#
+             #.#.#.#.#
+             #.#...#.#
+             #.#####.#
+             #.......#
+             #########",
+        );
+        let li = contour_label(&img);
+        assert_eq!(li, flood_fill_label(&img));
+        assert_eq!(li.num_components(), 3);
+    }
+
+    #[test]
+    fn exhaustive_4x4() {
+        for bits in 0..(1u32 << 16) {
+            let img = BinaryImage::from_fn(4, 4, |r, c| (bits >> (r * 4 + c)) & 1 == 1);
+            assert_eq!(
+                contour_label(&img),
+                flood_fill_label(&img),
+                "bits {bits:#x}\n{img:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_3x5_and_5x3() {
+        for bits in 0..(1u32 << 15) {
+            for (w, h) in [(3, 5), (5, 3)] {
+                let img = BinaryImage::from_fn(w, h, |r, c| (bits >> (r * w + c)) & 1 == 1);
+                assert_eq!(
+                    contour_label(&img),
+                    flood_fill_label(&img),
+                    "{w}x{h} bits {bits:#x}\n{img:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spiral_single_component() {
+        // long winding contour
+        let mut img = BinaryImage::zeros(9, 9);
+        for c in 0..9 {
+            img.set(0, c, true);
+            img.set(8, c, true);
+        }
+        for r in 0..9 {
+            img.set(r, 8, true);
+        }
+        for r in 2..9 {
+            img.set(r, 0, true);
+        }
+        assert_eq!(contour_label(&img), flood_fill_label(&img));
+    }
+
+    #[test]
+    fn empty_image() {
+        assert_eq!(contour_label(&BinaryImage::zeros(5, 5)).num_components(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! BFS flood-fill labeling — the ground-truth oracle.
+//!
+//! One-component-at-a-time labeling with an explicit queue: simple enough
+//! to be obviously correct, which is what every other algorithm in this
+//! crate is tested against. Components are numbered in raster order of
+//! their first pixel — the canonical numbering, so `flood_fill_label(img)`
+//! equals `labels.canonicalized()` for any correct labeling of `img`.
+
+use std::collections::VecDeque;
+
+use ccl_image::{BinaryImage, Connectivity};
+
+use crate::label::LabelImage;
+
+/// Flood-fill labeling with 8-connectivity (the paper's setting).
+pub fn flood_fill_label(image: &BinaryImage) -> LabelImage {
+    flood_fill_label_with(image, Connectivity::Eight)
+}
+
+/// Flood-fill labeling with the given connectivity.
+pub fn flood_fill_label_with(image: &BinaryImage, conn: Connectivity) -> LabelImage {
+    let (w, h) = (image.width(), image.height());
+    let mut labels = vec![0u32; w * h];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    let offsets = conn.offsets();
+    for r in 0..h {
+        for c in 0..w {
+            if image.get(r, c) == 0 || labels[r * w + c] != 0 {
+                continue;
+            }
+            next += 1;
+            labels[r * w + c] = next;
+            queue.push_back((r, c));
+            while let Some((qr, qc)) = queue.pop_front() {
+                for &(dr, dc) in offsets {
+                    let nr = qr as isize + dr;
+                    let nc = qc as isize + dc;
+                    if nr < 0 || nc < 0 || nr as usize >= h || nc as usize >= w {
+                        continue;
+                    }
+                    let (nr, nc) = (nr as usize, nc as usize);
+                    if image.get(nr, nc) == 1 && labels[nr * w + nc] == 0 {
+                        labels[nr * w + nc] = next;
+                        queue.push_back((nr, nc));
+                    }
+                }
+            }
+        }
+    }
+    LabelImage::from_raw(w, h, labels, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_vs_four_connectivity_differ_on_diagonals() {
+        let img = BinaryImage::parse(
+            "#.
+             .#",
+        );
+        assert_eq!(
+            flood_fill_label_with(&img, Connectivity::Eight).num_components(),
+            1
+        );
+        assert_eq!(
+            flood_fill_label_with(&img, Connectivity::Four).num_components(),
+            2
+        );
+    }
+
+    #[test]
+    fn raster_order_numbering() {
+        let img = BinaryImage::parse(
+            "..#
+             #..
+             ..#",
+        );
+        let li = flood_fill_label(&img);
+        assert_eq!(li.get(0, 2), 1);
+        assert_eq!(li.get(1, 0), 2);
+        assert_eq!(li.get(2, 2), 3);
+    }
+
+    #[test]
+    fn ring_is_one_component() {
+        let img = BinaryImage::parse(
+            "####
+             #..#
+             ####",
+        );
+        assert_eq!(flood_fill_label(&img).num_components(), 1);
+    }
+
+    #[test]
+    fn checkerboard_eight_is_single_component() {
+        let img = BinaryImage::from_fn(6, 6, |r, c| (r + c) % 2 == 0);
+        assert_eq!(flood_fill_label(&img).num_components(), 1);
+        // under 4-connectivity every pixel is isolated
+        assert_eq!(
+            flood_fill_label_with(&img, Connectivity::Four).num_components(),
+            18
+        );
+    }
+
+    #[test]
+    fn empty_image() {
+        assert_eq!(
+            flood_fill_label(&BinaryImage::zeros(3, 3)).num_components(),
+            0
+        );
+    }
+
+    #[test]
+    fn matches_two_pass() {
+        use crate::seq::{aremsp, cclremsp};
+        let img = BinaryImage::parse(
+            "#..#..##
+             .##..#..
+             #..##..#
+             ........
+             ####.###",
+        );
+        let flood = flood_fill_label(&img);
+        // decision-tree scan shares flood fill's raster numbering exactly
+        assert_eq!(flood, cclremsp(&img));
+        // the two-line scan numbers by row pairs; same partition though
+        assert_eq!(flood.canonicalized(), aremsp(&img).canonicalized());
+    }
+}

@@ -1,0 +1,192 @@
+//! Grayscale connected component labeling — the extension the paper
+//! notes in §V: *"our algorithm can be easily extended to gray scale
+//! images."*
+//!
+//! Components are maximal 8-connected regions of **equal** gray value
+//! (flat zones). The scan is the decision-tree scan with the foreground
+//! test replaced by a value-equality test against the current pixel;
+//! every pixel receives a label (there is no background), so labels run
+//! `1..=k` over the whole raster. Equivalences go through RemSP exactly
+//! as in CCLREMSP.
+
+use ccl_image::GrayImage;
+use ccl_unionfind::{EquivalenceStore, RemSP, UnionFind};
+
+use crate::label::LabelImage;
+
+/// Labels the flat zones (equal-value 8-connected regions) of a
+/// grayscale image. Numbering follows raster order of each zone's first
+/// pixel.
+pub fn label_grayscale(img: &GrayImage) -> LabelImage {
+    let (w, h) = (img.width(), img.height());
+    let mut labels = vec![0u32; w * h];
+    // worst case: every pixel its own zone
+    let mut store = RemSP::with_capacity(w * h + 1);
+    store.new_label(0); // keep slot 0 reserved so flatten's contract holds
+    let mut next = 1u32;
+    let pixels = img.as_slice();
+    for r in 0..h {
+        for c in 0..w {
+            let i = r * w + c;
+            let v = pixels[i];
+            // mask values: a b c (row above), d (left)
+            let matches = |rr: isize, cc: isize| -> u32 {
+                if rr < 0 || cc < 0 || cc as usize >= w {
+                    0
+                } else {
+                    let j = rr as usize * w + cc as usize;
+                    if pixels[j] == v {
+                        labels[j]
+                    } else {
+                        0
+                    }
+                }
+            };
+            let (ri, ci) = (r as isize, c as isize);
+            let lb = matches(ri - 1, ci);
+            let lab = if lb != 0 {
+                lb
+            } else {
+                let lc = matches(ri - 1, ci + 1);
+                if lc != 0 {
+                    let la = matches(ri - 1, ci - 1);
+                    if la != 0 {
+                        store.merge(lc, la)
+                    } else {
+                        let ld = matches(ri, ci - 1);
+                        if ld != 0 {
+                            store.merge(lc, ld)
+                        } else {
+                            lc
+                        }
+                    }
+                } else {
+                    let la = matches(ri - 1, ci - 1);
+                    if la != 0 {
+                        la
+                    } else {
+                        let ld = matches(ri, ci - 1);
+                        if ld != 0 {
+                            ld
+                        } else {
+                            store.new_label(next);
+                            next += 1;
+                            next - 1
+                        }
+                    }
+                }
+            };
+            labels[i] = lab;
+        }
+    }
+    let num_components = store.flatten();
+    for l in &mut labels {
+        *l = store.resolve(*l);
+    }
+    LabelImage::from_raw(w, h, labels, num_components)
+}
+
+/// Flood-fill oracle for flat-zone labeling (used by the tests).
+pub fn flood_fill_grayscale(img: &GrayImage) -> LabelImage {
+    let (w, h) = (img.width(), img.height());
+    let mut labels = vec![0u32; w * h];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for r in 0..h {
+        for c in 0..w {
+            if labels[r * w + c] != 0 {
+                continue;
+            }
+            next += 1;
+            let v = img.get(r, c);
+            labels[r * w + c] = next;
+            queue.push_back((r, c));
+            while let Some((qr, qc)) = queue.pop_front() {
+                for dr in -1isize..=1 {
+                    for dc in -1isize..=1 {
+                        if dr == 0 && dc == 0 {
+                            continue;
+                        }
+                        let nr = qr as isize + dr;
+                        let nc = qc as isize + dc;
+                        if nr < 0 || nc < 0 || nr as usize >= h || nc as usize >= w {
+                            continue;
+                        }
+                        let (nr, nc) = (nr as usize, nc as usize);
+                        if labels[nr * w + nc] == 0 && img.get(nr, nc) == v {
+                            labels[nr * w + nc] = next;
+                            queue.push_back((nr, nc));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    LabelImage::from_raw(w, h, labels, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_image_is_one_zone() {
+        let img = GrayImage::from_fn(8, 6, |_, _| 77);
+        let li = label_grayscale(&img);
+        assert_eq!(li.num_components(), 1);
+        assert!(li.as_slice().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn binary_image_degenerates_to_two_zones() {
+        let img = GrayImage::from_fn(6, 6, |r, _| if r < 3 { 0 } else { 255 });
+        let li = label_grayscale(&img);
+        assert_eq!(li.num_components(), 2);
+    }
+
+    #[test]
+    fn gradient_is_per_column_zones() {
+        let img = GrayImage::from_fn(5, 4, |_, c| c as u8 * 10);
+        let li = label_grayscale(&img);
+        assert_eq!(li.num_components(), 5);
+        for r in 0..4 {
+            for c in 0..5 {
+                assert_eq!(li.get(r, c), c as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_pseudorandom_images() {
+        let mut state = 31u64;
+        let mut rnd = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % m) as u8
+        };
+        for trial in 0..30 {
+            // few gray levels => interesting zone shapes
+            let levels = 2 + (trial % 4) as u64;
+            let img = GrayImage::from_fn(4 + trial % 9, 3 + trial % 7, |_, _| rnd(levels) * 50);
+            assert_eq!(
+                label_grayscale(&img),
+                flood_fill_grayscale(&img),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_image() {
+        let img = GrayImage::zeros(0, 0);
+        assert_eq!(label_grayscale(&img).num_components(), 0);
+    }
+
+    #[test]
+    fn diagonal_equal_values_connect() {
+        let img = GrayImage::from_raw(2, 2, vec![9, 1, 2, 9]).unwrap();
+        let li = label_grayscale(&img);
+        // the two 9s touch diagonally -> same zone
+        assert_eq!(li.get(0, 0), li.get(1, 1));
+        assert_eq!(li.num_components(), 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Repeated-pass labeling — the classic multi-pass baseline (the paper's
+//! refs [11], [12]: Haralick; Hashizume et al.).
+//!
+//! Alternating forward and backward raster passes propagate the minimum
+//! label across each component until a fixed point. No equivalence
+//! structure at all — the price is a pass count proportional to the
+//! longest label-propagation chain (spirals are pathological, which the
+//! ablation benches demonstrate). Kept as a baseline and oracle;
+//! Suzuki's 1-D table acceleration of this family is what two-pass
+//! algorithms made obsolete.
+
+use ccl_image::BinaryImage;
+
+use crate::label::LabelImage;
+
+/// Repeated forward/backward passes until stable (8-connectivity).
+pub fn multipass(image: &BinaryImage) -> LabelImage {
+    let (w, h) = (image.width(), image.height());
+    let mut labels = vec![0u32; w * h];
+    // initial labels: raster index + 1 (component minima end up in
+    // raster-first-pixel order, matching the two-pass algorithms)
+    for r in 0..h {
+        for c in 0..w {
+            if image.get(r, c) == 1 {
+                labels[r * w + c] = (r * w + c + 1) as u32;
+            }
+        }
+    }
+    if w == 0 || h == 0 {
+        return LabelImage::from_raw(w, h, labels, 0);
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // forward pass: prior mask (a b c / d) plus self
+        for r in 0..h {
+            for c in 0..w {
+                let i = r * w + c;
+                if labels[i] == 0 {
+                    continue;
+                }
+                let mut m = labels[i];
+                if r > 0 {
+                    let up = (r - 1) * w + c;
+                    if c > 0 && labels[up - 1] != 0 {
+                        m = m.min(labels[up - 1]);
+                    }
+                    if labels[up] != 0 {
+                        m = m.min(labels[up]);
+                    }
+                    if c + 1 < w && labels[up + 1] != 0 {
+                        m = m.min(labels[up + 1]);
+                    }
+                }
+                if c > 0 && labels[i - 1] != 0 {
+                    m = m.min(labels[i - 1]);
+                }
+                if m != labels[i] {
+                    labels[i] = m;
+                    changed = true;
+                }
+            }
+        }
+        // backward pass: subsequent mask plus self
+        for r in (0..h).rev() {
+            for c in (0..w).rev() {
+                let i = r * w + c;
+                if labels[i] == 0 {
+                    continue;
+                }
+                let mut m = labels[i];
+                if r + 1 < h {
+                    let down = (r + 1) * w + c;
+                    if c > 0 && labels[down - 1] != 0 {
+                        m = m.min(labels[down - 1]);
+                    }
+                    if labels[down] != 0 {
+                        m = m.min(labels[down]);
+                    }
+                    if c + 1 < w && labels[down + 1] != 0 {
+                        m = m.min(labels[down + 1]);
+                    }
+                }
+                if c + 1 < w && labels[i + 1] != 0 {
+                    m = m.min(labels[i + 1]);
+                }
+                if m != labels[i] {
+                    labels[i] = m;
+                    changed = true;
+                }
+            }
+        }
+    }
+    // consecutive renumbering in raster order of first occurrence
+    let mut remap = std::collections::HashMap::new();
+    let mut next = 0u32;
+    for l in &mut labels {
+        if *l != 0 {
+            *l = *remap.entry(*l).or_insert_with(|| {
+                next += 1;
+                next
+            });
+        }
+    }
+    LabelImage::from_raw(w, h, labels, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::flood_fill_label;
+
+    #[test]
+    fn matches_flood_fill_on_fixtures() {
+        for pic in [
+            "#.#. .#.# #.#.",
+            "##### #...# #.#.# #...# #####",
+            "#######
+             ......#
+             #####.#
+             #...#.#
+             #.###.#
+             #.....#
+             #######",
+        ] {
+            let img = BinaryImage::parse(pic);
+            assert_eq!(multipass(&img), flood_fill_label(&img), "{pic}");
+        }
+    }
+
+    #[test]
+    fn empty_image() {
+        assert_eq!(multipass(&BinaryImage::zeros(4, 0)).num_components(), 0);
+        assert_eq!(multipass(&BinaryImage::zeros(3, 3)).num_components(), 0);
+    }
+
+    #[test]
+    fn serpentine_converges() {
+        // worst-case propagation: a snake across many rows
+        let w = 11;
+        let h = 9;
+        let img = BinaryImage::from_fn(w, h, |r, c| {
+            if r % 2 == 0 {
+                true
+            } else {
+                // connectors alternate sides
+                (r / 2) % 2 == 0 && c == w - 1 || (r / 2) % 2 == 1 && c == 0
+            }
+        });
+        let li = multipass(&img);
+        assert_eq!(li.num_components(), 1);
+        assert_eq!(li, flood_fill_label(&img));
+    }
+}

@@ -1,0 +1,157 @@
+//! Run-based two-scan labeling — He, Chao & Suzuki's RUN algorithm (the
+//! paper's ref [43]), an additional baseline mentioned in §II.
+//!
+//! The first scan assigns one provisional label per *run* (maximal
+//! horizontal segment of foreground pixels) and merges a run's label with
+//! every 8-connected run on the previous row; the structure of choice is
+//! He's `rtable`/`next`/`tail` equivalence table, as in the original.
+//! The second scan paints pixels run by run — far fewer label writes than
+//! per-pixel algorithms when runs are long.
+
+use ccl_image::{BinaryImage, RunImage};
+use ccl_unionfind::{EquivalenceStore, HeEquivalence, UnionFind};
+
+use crate::label::LabelImage;
+
+/// Run-based two-scan labeling (8-connectivity).
+pub fn run_based(image: &BinaryImage) -> LabelImage {
+    let (w, h) = (image.width(), image.height());
+    let runs = RunImage::from_binary(image);
+    let n_runs = runs.run_count();
+    // one provisional label per run, plus background
+    let mut store = HeEquivalence::with_capacity(n_runs + 1);
+    store.new_label(0);
+    let mut run_labels = vec![0u32; n_runs];
+    let mut next = 1u32;
+    for r in 0..h {
+        let cur = runs.row_run_range(r);
+        let prev = if r > 0 {
+            runs.row_run_range(r - 1)
+        } else {
+            0..0
+        };
+        let mut pi = prev.start;
+        for ri in cur.clone() {
+            let run = runs.runs()[ri];
+            let mut label = 0u32;
+            // advance past previous-row runs that end left of our reach
+            let mut scan = pi;
+            while scan < prev.end {
+                let prun = runs.runs()[scan];
+                if prun.end < run.start {
+                    // cannot touch this or any later current run start
+                    scan += 1;
+                    if scan > pi {
+                        pi = scan;
+                    }
+                    continue;
+                }
+                if prun.start > run.end {
+                    break; // past our reach (8-conn widens by one)
+                }
+                if run.touches_8(&prun) {
+                    let plabel = run_labels[scan];
+                    if label == 0 {
+                        label = plabel;
+                    } else {
+                        label = store.merge(label, plabel);
+                    }
+                }
+                scan += 1;
+            }
+            if label == 0 {
+                store.new_label(next);
+                label = next;
+                next += 1;
+            }
+            run_labels[ri] = label;
+        }
+    }
+    let num_components = store.flatten();
+    // second scan: paint runs
+    let mut labels = vec![0u32; w * h];
+    for (ri, run) in runs.runs().iter().enumerate() {
+        let final_label = store.resolve(run_labels[ri]);
+        let base = run.row * w;
+        for c in run.start..run.end {
+            labels[base + c] = final_label;
+        }
+    }
+    LabelImage::from_raw(w, h, labels, num_components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{aremsp, flood_fill_label};
+
+    #[test]
+    fn simple_fixtures_match_flood_fill() {
+        for pic in [
+            "....",
+            "####",
+            "#.#. .#.# #.#.",
+            "#..# .##. #..#",
+            "##### #...# #.#.# #...# #####",
+        ] {
+            let img = BinaryImage::parse(pic);
+            assert_eq!(run_based(&img), flood_fill_label(&img), "{pic}");
+        }
+    }
+
+    #[test]
+    fn long_runs_single_component() {
+        let img = BinaryImage::ones(100, 3);
+        let li = run_based(&img);
+        assert_eq!(li.num_components(), 1);
+        assert!(li.as_slice().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn touching_via_diagonal_only() {
+        let img = BinaryImage::parse(
+            "##..
+             ..##",
+        );
+        assert_eq!(run_based(&img).num_components(), 1);
+        let gap = BinaryImage::parse(
+            "##...
+             ...##",
+        );
+        assert_eq!(run_based(&gap).num_components(), 2);
+    }
+
+    #[test]
+    fn multiple_parents_merge() {
+        // bottom run touches three separate top runs
+        let img = BinaryImage::parse(
+            "#.#.#
+             #####",
+        );
+        let li = run_based(&img);
+        assert_eq!(li.num_components(), 1);
+    }
+
+    #[test]
+    fn matches_flood_and_aremsp_on_pseudorandom() {
+        let mut state = 5u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 41) & 1 == 1
+        };
+        for trial in 0..25 {
+            let w = 4 + trial % 9;
+            let h = 3 + trial % 6;
+            let img = BinaryImage::from_fn(w, h, |_, _| rnd());
+            // run-based labels runs row by row: raster numbering, exactly
+            // like flood fill
+            assert_eq!(run_based(&img), flood_fill_label(&img), "trial {trial}");
+            // same partition as the two-line scan, up to numbering
+            assert_eq!(
+                run_based(&img).canonicalized(),
+                aremsp(&img).canonicalized(),
+                "trial {trial}"
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Labeling verification utilities.
+//!
+//! Used throughout the test suite and available to library users who want
+//! to validate outputs (e.g. after porting to a new platform).
+
+use std::collections::HashMap;
+
+use ccl_image::{BinaryImage, Connectivity};
+
+use crate::label::LabelImage;
+use crate::seq::flood_fill_label_with;
+
+/// Whether two labelings denote the same partition: identical dimensions,
+/// identical background, and a label bijection between foregrounds.
+pub fn labelings_equivalent(a: &LabelImage, b: &LabelImage) -> bool {
+    if a.width() != b.width() || a.height() != b.height() {
+        return false;
+    }
+    if a.num_components() != b.num_components() {
+        return false;
+    }
+    let mut fwd: HashMap<u32, u32> = HashMap::new();
+    let mut bwd: HashMap<u32, u32> = HashMap::new();
+    for (&la, &lb) in a.as_slice().iter().zip(b.as_slice()) {
+        if (la == 0) != (lb == 0) {
+            return false;
+        }
+        if la == 0 {
+            continue;
+        }
+        if *fwd.entry(la).or_insert(lb) != lb {
+            return false;
+        }
+        if *bwd.entry(lb).or_insert(la) != la {
+            return false;
+        }
+    }
+    true
+}
+
+/// Fully validates `labels` as a connected-component labeling of `image`
+/// under `conn`:
+///
+/// 1. background/foreground agreement,
+/// 2. labels are consecutive `1..=num_components`,
+/// 3. adjacent foreground pixels share a label,
+/// 4. equal-labeled pixels are actually connected (bijection against a
+///    flood-fill reference).
+///
+/// Returns a description of the first violation found.
+pub fn verify_labeling(
+    image: &BinaryImage,
+    labels: &LabelImage,
+    conn: Connectivity,
+) -> Result<(), String> {
+    if image.width() != labels.width() || image.height() != labels.height() {
+        return Err(format!(
+            "dimension mismatch: image {}x{}, labels {}x{}",
+            image.width(),
+            image.height(),
+            labels.width(),
+            labels.height()
+        ));
+    }
+    let (w, h) = (image.width(), image.height());
+    // 1. background agreement + 2. label range
+    let mut seen = vec![false; labels.num_components() as usize + 1];
+    for r in 0..h {
+        for c in 0..w {
+            let l = labels.get(r, c);
+            if (image.get(r, c) == 0) != (l == 0) {
+                return Err(format!("background mismatch at ({r}, {c})"));
+            }
+            if l > labels.num_components() {
+                return Err(format!("label {l} out of range at ({r}, {c})"));
+            }
+            seen[l as usize] = true;
+        }
+    }
+    for (l, &s) in seen.iter().enumerate().skip(1) {
+        if !s {
+            return Err(format!("label {l} unused (labels not consecutive)"));
+        }
+    }
+    // 3. adjacency consistency
+    for r in 0..h {
+        for c in 0..w {
+            if image.get(r, c) == 0 {
+                continue;
+            }
+            let l = labels.get(r, c);
+            for &(dr, dc) in conn.offsets() {
+                let nr = r as isize + dr;
+                let nc = c as isize + dc;
+                if nr < 0 || nc < 0 || nr as usize >= h || nc as usize >= w {
+                    continue;
+                }
+                let (nr, nc) = (nr as usize, nc as usize);
+                if image.get(nr, nc) == 1 && labels.get(nr, nc) != l {
+                    return Err(format!(
+                        "adjacent pixels ({r},{c}) and ({nr},{nc}) have labels {l} vs {}",
+                        labels.get(nr, nc)
+                    ));
+                }
+            }
+        }
+    }
+    // 4. connectivity (no label spans two components)
+    let reference = flood_fill_label_with(image, conn);
+    if !labelings_equivalent(&reference, labels) {
+        return Err(format!(
+            "partition differs from flood fill: {} vs {} components",
+            labels.num_components(),
+            reference.num_components()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{aremsp, flood_fill_label};
+
+    #[test]
+    fn equivalent_to_itself_and_permutations() {
+        let img = BinaryImage::parse("#.# .#. #.#");
+        let a = flood_fill_label(&img);
+        assert!(labelings_equivalent(&a, &a));
+        // permute labels 1<->5 keeping a valid bijection
+        let permuted: Vec<u32> = a
+            .as_slice()
+            .iter()
+            .map(|&l| match l {
+                0 => 0,
+                l => a.num_components() + 1 - l,
+            })
+            .collect();
+        let b = LabelImage::from_raw(a.width(), a.height(), permuted, a.num_components());
+        assert!(labelings_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn detects_split_component() {
+        let img = BinaryImage::parse("##");
+        let good = flood_fill_label(&img);
+        let bad = LabelImage::from_raw(2, 1, vec![1, 2], 2);
+        assert!(!labelings_equivalent(&good, &bad));
+        assert!(verify_labeling(&img, &bad, Connectivity::Eight).is_err());
+    }
+
+    #[test]
+    fn detects_merged_components() {
+        let img = BinaryImage::parse("#.#");
+        let bad = LabelImage::from_raw(3, 1, vec![1, 0, 1], 1);
+        let good = flood_fill_label(&img);
+        assert!(!labelings_equivalent(&good, &bad));
+        let err = verify_labeling(&img, &bad, Connectivity::Eight).unwrap_err();
+        assert!(err.contains("flood fill"), "{err}");
+    }
+
+    #[test]
+    fn detects_background_mismatch() {
+        let img = BinaryImage::parse("#.");
+        let bad = LabelImage::from_raw(2, 1, vec![1, 1], 1);
+        let err = verify_labeling(&img, &bad, Connectivity::Eight).unwrap_err();
+        assert!(err.contains("background"), "{err}");
+    }
+
+    #[test]
+    fn detects_non_consecutive_labels() {
+        let img = BinaryImage::parse("#.#");
+        let bad = LabelImage::from_raw(3, 1, vec![1, 0, 3], 3);
+        let err = verify_labeling(&img, &bad, Connectivity::Eight).unwrap_err();
+        assert!(err.contains("unused"), "{err}");
+    }
+
+    #[test]
+    fn accepts_correct_labeling() {
+        let img = BinaryImage::parse("##.. ..## #..#");
+        let li = aremsp(&img);
+        assert!(verify_labeling(&img, &li, Connectivity::Eight).is_ok());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = flood_fill_label(&BinaryImage::zeros(2, 2));
+        let b = flood_fill_label(&BinaryImage::zeros(3, 2));
+        assert!(!labelings_equivalent(&a, &b));
+    }
+}

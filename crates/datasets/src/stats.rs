@@ -1,0 +1,87 @@
+//! Min/avg/max aggregation — the statistic reported in Tables II and IV.
+
+use serde::Serialize;
+
+/// Minimum, mean and maximum of a sample (milliseconds in the tables).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Aggregates a sample; `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(Summary {
+            min,
+            avg: sum / values.len() as f64,
+            max,
+        })
+    }
+
+    /// The three row labels of Tables II/IV, in paper order.
+    pub const ROW_LABELS: [&'static str; 3] = ["Min", "Average", "Max"];
+
+    /// The statistic corresponding to [`Self::ROW_LABELS`]`[i]`.
+    pub fn row(&self, i: usize) -> f64 {
+        match i {
+            0 => self.min,
+            1 => self.avg,
+            2 => self.max,
+            _ => panic!("row index {i} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_correctly() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.avg, 2.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[5.5]).unwrap();
+        assert_eq!((s.min, s.avg, s.max), (5.5, 5.5, 5.5));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn row_accessor_matches_labels() {
+        let s = Summary::of(&[1.0, 2.0, 6.0]).unwrap();
+        assert_eq!(s.row(0), 1.0);
+        assert_eq!(s.row(1), 3.0);
+        assert_eq!(s.row(2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_out_of_range_panics() {
+        Summary::of(&[1.0]).unwrap().row(3);
+    }
+}

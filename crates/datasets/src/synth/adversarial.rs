@@ -1,0 +1,191 @@
+//! Adversarial stress patterns.
+//!
+//! These target specific algorithmic weak points rather than modeling any
+//! natural dataset:
+//!
+//! * [`spiral`] — one component whose labels can only be unified through
+//!   a chain of merges proportional to the image perimeter (kills
+//!   repeated-pass algorithms; stresses union-find depth),
+//! * [`comb`] — many vertical teeth joined by a single bar: every tooth
+//!   produces a provisional label that merges at one row (worst case for
+//!   PAREMSP's boundary merge when the bar falls on a chunk boundary),
+//! * [`fine_checkerboard`] — the maximum label-creation-rate pattern for
+//!   8-connectivity scans,
+//! * [`hstripes`] / [`vstripes`] — many independent components with no
+//!   merges at all (pure label-allocation throughput).
+
+use ccl_image::BinaryImage;
+
+/// A rectangular inward spiral: a single one-pixel-wide arm separated
+/// from itself by one-pixel gaps. Connecting the innermost pixel to the
+/// outer corner requires following the whole arm — a merge/propagation
+/// chain of length Θ(size²).
+pub fn spiral(size: usize) -> BinaryImage {
+    let mut img = BinaryImage::zeros(size, size);
+    if size == 0 {
+        return img;
+    }
+    let n = size as isize;
+    let (mut top, mut bottom, mut left, mut right) = (0isize, n - 1, 0isize, n - 1);
+    loop {
+        // top row, left → right
+        for c in left..=right {
+            img.set(top as usize, c as usize, true);
+        }
+        // right column, downward
+        for r in top + 1..=bottom {
+            img.set(r as usize, right as usize, true);
+        }
+        // bottom row, right → left (when distinct from the top row)
+        if bottom > top {
+            for c in left..right {
+                img.set(bottom as usize, c as usize, true);
+            }
+        }
+        // left column, upward, stopping two rows short of the top row to
+        // leave the inter-arm gap
+        for r in top + 2..bottom {
+            img.set(r as usize, left as usize, true);
+        }
+        // connector from the left column's end into the next ring
+        if top + 2 <= bottom && left < right {
+            img.set((top + 2) as usize, (left + 1) as usize, true);
+        }
+        top += 2;
+        left += 2;
+        right -= 2;
+        bottom -= 2;
+        if top > bottom || left > right {
+            break;
+        }
+    }
+    img
+}
+
+/// Boustrophedon snake: full even rows joined by alternating-side
+/// connectors in the odd rows. Like [`spiral`], a single component with a
+/// Θ(width·height) internal path, but with chunk-boundary-friendly
+/// geometry (every even row crosses the whole image).
+pub fn serpentine(width: usize, height: usize) -> BinaryImage {
+    BinaryImage::from_fn(width, height, |r, c| {
+        if r % 2 == 0 {
+            true
+        } else if (r / 2) % 2 == 0 {
+            c == width - 1
+        } else {
+            c == 0
+        }
+    })
+}
+
+/// Vertical teeth of width 1 with one-pixel gaps, joined by a bar at
+/// `bar_row`.
+pub fn comb(width: usize, height: usize, bar_row: usize) -> BinaryImage {
+    let bar_row = bar_row.min(height.saturating_sub(1));
+    BinaryImage::from_fn(width, height, |r, c| r == bar_row || c % 2 == 0)
+}
+
+/// One-pixel checkerboard: under 8-connectivity a single component, but
+/// every other pixel of the first row of each chunk allocates a label.
+pub fn fine_checkerboard(width: usize, height: usize) -> BinaryImage {
+    BinaryImage::from_fn(width, height, |r, c| (r + c) % 2 == 0)
+}
+
+/// Horizontal one-pixel stripes: `height / 2` independent components.
+pub fn hstripes(width: usize, height: usize) -> BinaryImage {
+    BinaryImage::from_fn(width, height, |r, _| r % 2 == 0)
+}
+
+/// Vertical one-pixel stripes: `width / 2` independent components.
+pub fn vstripes(width: usize, height: usize) -> BinaryImage {
+    BinaryImage::from_fn(width, height, |_, c| c % 2 == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccl_core::seq::flood_fill_label;
+
+    #[test]
+    fn spiral_is_single_component() {
+        for size in [1, 2, 5, 8, 17, 32, 33] {
+            let img = spiral(size);
+            let li = flood_fill_label(&img);
+            assert_eq!(li.num_components(), 1, "size {size}");
+        }
+    }
+
+    #[test]
+    fn spiral_density_near_half() {
+        let img = spiral(64);
+        let d = img.density();
+        assert!(d > 0.4 && d < 0.6, "density {d}");
+    }
+
+    #[test]
+    fn spiral_has_long_internal_path() {
+        // the two endpoints of the arm are far apart along the arm even
+        // though they are geometrically close: removing one interior arm
+        // pixel must split the component in two.
+        let mut img = spiral(21);
+        assert_eq!(flood_fill_label(&img).num_components(), 1);
+        img.set(0, 10, false); // cut the outer arm mid-way
+        assert_eq!(flood_fill_label(&img).num_components(), 2);
+    }
+
+    #[test]
+    fn serpentine_is_single_component() {
+        for (w, h) in [(8, 8), (11, 9), (16, 5), (1, 7), (7, 1)] {
+            let img = serpentine(w, h);
+            assert_eq!(flood_fill_label(&img).num_components(), 1, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn comb_is_single_component() {
+        let img = comb(40, 30, 15);
+        assert_eq!(flood_fill_label(&img).num_components(), 1);
+    }
+
+    #[test]
+    fn comb_without_bar_would_be_many() {
+        let teeth = BinaryImage::from_fn(40, 30, |_, c| c % 2 == 0);
+        assert_eq!(flood_fill_label(&teeth).num_components(), 20);
+    }
+
+    #[test]
+    fn fine_checkerboard_single_component_8conn() {
+        let img = fine_checkerboard(32, 32);
+        assert_eq!(flood_fill_label(&img).num_components(), 1);
+    }
+
+    #[test]
+    fn stripe_component_counts() {
+        assert_eq!(flood_fill_label(&hstripes(16, 10)).num_components(), 5);
+        assert_eq!(flood_fill_label(&vstripes(10, 16)).num_components(), 5);
+    }
+
+    #[test]
+    fn all_adversarial_match_across_algorithms() {
+        use ccl_core::Algorithm;
+        for img in [
+            spiral(33),
+            comb(31, 22, 11),
+            fine_checkerboard(25, 18),
+            hstripes(20, 15),
+            vstripes(15, 20),
+        ] {
+            let reference = flood_fill_label(&img).canonicalized();
+            for algo in Algorithm::all_sequential() {
+                assert_eq!(algo.run(&img).canonicalized(), reference, "{}", algo.name());
+            }
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    Algorithm::Paremsp(threads).run(&img).canonicalized(),
+                    reference,
+                    "paremsp {threads}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Random disk/ellipse fields — the "Aerial" stand-in.
+//!
+//! Aerial photography binarized at level 0.5 yields fields of compact
+//! objects (buildings, vehicles, vegetation patches) over background.
+//! This generator scatters axis-aligned ellipses of random size until a
+//! target coverage is reached; overlaps create the irregular merged
+//! object shapes that drive equivalence-merge activity in the scan.
+
+use ccl_image::BinaryImage;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`blob_field`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlobParams {
+    /// Target foreground coverage in `[0, 1]` (approximate; generation
+    /// stops when reached).
+    pub coverage: f64,
+    /// Minimum ellipse semi-axis, pixels.
+    pub min_radius: usize,
+    /// Maximum ellipse semi-axis, pixels.
+    pub max_radius: usize,
+}
+
+impl Default for BlobParams {
+    fn default() -> Self {
+        BlobParams {
+            coverage: 0.3,
+            min_radius: 2,
+            max_radius: 24,
+        }
+    }
+}
+
+/// Scatters random ellipses until `params.coverage` of the image is
+/// foreground (or a safety cap on attempts is reached).
+pub fn blob_field(width: usize, height: usize, params: BlobParams, seed: u64) -> BinaryImage {
+    let mut img = BinaryImage::zeros(width, height);
+    if width == 0 || height == 0 || params.coverage <= 0.0 {
+        return img;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let target = ((width * height) as f64 * params.coverage.min(1.0)) as usize;
+    let mut covered = 0usize;
+    // Cap attempts: high coverage with heavy overlap converges slowly.
+    let max_blobs = 16 * (width * height) / (params.min_radius * params.min_radius + 1).max(1);
+    let (min_r, max_r) = (
+        params.min_radius.max(1),
+        params.max_radius.max(params.min_radius.max(1)),
+    );
+    for _ in 0..max_blobs {
+        if covered >= target {
+            break;
+        }
+        let cy = rng.random_range(0..height) as isize;
+        let cx = rng.random_range(0..width) as isize;
+        let ry = rng.random_range(min_r..=max_r) as isize;
+        let rx = rng.random_range(min_r..=max_r) as isize;
+        for dy in -ry..=ry {
+            let y = cy + dy;
+            if y < 0 || y as usize >= height {
+                continue;
+            }
+            // ellipse row half-width
+            let frac = 1.0 - (dy as f64 / ry as f64).powi(2);
+            let half = (rx as f64 * frac.sqrt()) as isize;
+            for dx in -half..=half {
+                let x = cx + dx;
+                if x < 0 || x as usize >= width {
+                    continue;
+                }
+                if img.get(y as usize, x as usize) == 0 {
+                    img.set(y as usize, x as usize, true);
+                    covered += 1;
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = BlobParams::default();
+        assert_eq!(blob_field(128, 128, p, 3), blob_field(128, 128, p, 3));
+    }
+
+    #[test]
+    fn coverage_reached_approximately() {
+        let p = BlobParams {
+            coverage: 0.25,
+            min_radius: 2,
+            max_radius: 10,
+        };
+        let img = blob_field(256, 256, p, 1);
+        let d = img.density();
+        assert!(d >= 0.23, "density {d} too low");
+        assert!(d <= 0.40, "density {d} overshoots too far");
+    }
+
+    #[test]
+    fn zero_coverage_is_empty() {
+        let p = BlobParams {
+            coverage: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(blob_field(64, 64, p, 1).count_foreground(), 0);
+    }
+
+    #[test]
+    fn empty_dimensions() {
+        let p = BlobParams::default();
+        assert!(blob_field(0, 10, p, 1).is_empty());
+        assert!(blob_field(10, 0, p, 1).is_empty());
+    }
+
+    #[test]
+    fn produces_compact_components() {
+        // blobs should yield far fewer runs than Bernoulli noise of the
+        // same density: compact shapes have long runs
+        use ccl_image::stats::binary_stats;
+        let p = BlobParams {
+            coverage: 0.3,
+            min_radius: 4,
+            max_radius: 16,
+        };
+        let b = blob_field(256, 256, p, 5);
+        let n = super::super::noise::bernoulli(256, 256, b.density(), 5);
+        let sb = binary_stats(&b);
+        let sn = binary_stats(&n);
+        assert!(sb.mean_run_len > 2.0 * sn.mean_run_len);
+    }
+}

@@ -1,0 +1,163 @@
+//! Multi-octave value noise — the NLCD land-cover stand-in.
+//!
+//! Thresholded land-cover rasters consist of large contiguous regions
+//! with fractal boundaries and enclosed holes. Fractional-Brownian-motion
+//! value noise reproduces exactly that: smooth large-scale structure from
+//! the low octaves, boundary roughness from the high ones. The noise is
+//! hash-based (no stored lattice), so the 465 MB Table III images generate
+//! in a single streaming pass; rendered to grayscale and binarized with
+//! `im2bw(0.5)`, matching the paper's pipeline.
+
+use ccl_image::threshold::im2bw;
+use ccl_image::{BinaryImage, GrayImage};
+
+use super::lattice_value;
+
+/// Parameters for [`landcover`].
+#[derive(Debug, Clone, Copy)]
+pub struct LandcoverParams {
+    /// Lattice spacing of the base octave, in pixels (feature size).
+    pub base_scale: f64,
+    /// Number of octaves (each halves the spacing and the amplitude).
+    pub octaves: u32,
+    /// Amplitude falloff per octave in `(0, 1]`.
+    pub persistence: f64,
+}
+
+impl Default for LandcoverParams {
+    fn default() -> Self {
+        LandcoverParams {
+            base_scale: 96.0,
+            octaves: 5,
+            persistence: 0.55,
+        }
+    }
+}
+
+#[inline]
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Single octave of value noise at lattice spacing `scale`.
+#[inline]
+fn value_noise(r: f64, c: f64, scale: f64, seed: u64) -> f64 {
+    let x = c / scale;
+    let y = r / scale;
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let tx = smoothstep(x - x0);
+    let ty = smoothstep(y - y0);
+    let (xi, yi) = (x0 as i64, y0 as i64);
+    let v00 = lattice_value(xi, yi, seed);
+    let v10 = lattice_value(xi + 1, yi, seed);
+    let v01 = lattice_value(xi, yi + 1, seed);
+    let v11 = lattice_value(xi + 1, yi + 1, seed);
+    let top = v00 + (v10 - v00) * tx;
+    let bot = v01 + (v11 - v01) * tx;
+    top + (bot - top) * ty
+}
+
+/// Raw fBm value in `[0, 1]` at pixel `(r, c)`.
+pub fn fbm(r: usize, c: usize, params: &LandcoverParams, seed: u64) -> f64 {
+    let mut amplitude = 1.0;
+    let mut scale = params.base_scale.max(1.0);
+    let mut sum = 0.0;
+    let mut norm = 0.0;
+    for octave in 0..params.octaves.max(1) {
+        sum += amplitude * value_noise(r as f64, c as f64, scale, seed ^ octave as u64);
+        norm += amplitude;
+        amplitude *= params.persistence;
+        scale = (scale / 2.0).max(1.0);
+    }
+    sum / norm
+}
+
+/// The grayscale land-cover field (before binarization).
+pub fn landcover_gray(
+    width: usize,
+    height: usize,
+    params: LandcoverParams,
+    seed: u64,
+) -> GrayImage {
+    GrayImage::from_fn(width, height, |r, c| {
+        (fbm(r, c, &params, seed) * 255.0) as u8
+    })
+}
+
+/// NLCD-like binary mask: fBm noise binarized at level 0.5 via the
+/// paper's `im2bw` pipeline.
+pub fn landcover(width: usize, height: usize, params: LandcoverParams, seed: u64) -> BinaryImage {
+    im2bw(&landcover_gray(width, height, params, seed), 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = LandcoverParams::default();
+        assert_eq!(landcover(128, 128, p, 1), landcover(128, 128, p, 1));
+        assert_ne!(landcover(128, 128, p, 1), landcover(128, 128, p, 2));
+    }
+
+    #[test]
+    fn density_is_moderate() {
+        // fBm noise centered near 0.5: neither empty nor full
+        let img = landcover(256, 256, LandcoverParams::default(), 7);
+        let d = img.density();
+        assert!(d > 0.2 && d < 0.8, "density {d}");
+    }
+
+    #[test]
+    fn produces_large_regions_not_speckle() {
+        use ccl_image::stats::binary_stats;
+        let img = landcover(256, 256, LandcoverParams::default(), 3);
+        let s = binary_stats(&img);
+        // land-cover regions: long runs compared to pixel noise
+        assert!(s.mean_run_len > 8.0, "mean run length {}", s.mean_run_len);
+        // few components relative to area
+        let li = ccl_core::seq::flood_fill_label(&img);
+        assert!(
+            (li.num_components() as usize) < img.len() / 500,
+            "{} components",
+            li.num_components()
+        );
+    }
+
+    #[test]
+    fn fbm_range_is_unit_interval() {
+        let p = LandcoverParams::default();
+        for r in (0..200).step_by(17) {
+            for c in (0..200).step_by(13) {
+                let v = fbm(r, c, &p, 11);
+                assert!((0.0..=1.0).contains(&v), "({r},{c}) -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_base_scale_means_more_detail() {
+        use ccl_image::stats::binary_stats;
+        let coarse = landcover(
+            256,
+            256,
+            LandcoverParams {
+                base_scale: 128.0,
+                ..Default::default()
+            },
+            5,
+        );
+        let fine = landcover(
+            256,
+            256,
+            LandcoverParams {
+                base_scale: 16.0,
+                ..Default::default()
+            },
+            5,
+        );
+        assert!(binary_stats(&fine).runs > binary_stats(&coarse).runs);
+    }
+}

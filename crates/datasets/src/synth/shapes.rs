@@ -1,0 +1,172 @@
+//! Mixed shape/document scenes — the "Miscellaneous" stand-in.
+//!
+//! USC-SIPI's miscellaneous set binarizes into scenes with a handful of
+//! large structures plus scattered detail. [`shape_scene`] mixes filled
+//! rectangles, rings and line segments; [`text_page`] lays out random
+//! 5×7 dot-matrix glyphs in lines, modeling the character-recognition
+//! workload the paper's introduction motivates (many small components of
+//! similar size).
+
+use ccl_image::BinaryImage;
+use rand::{Rng, SeedableRng};
+
+/// A scene of `n_shapes` random rectangles, rings and lines.
+pub fn shape_scene(width: usize, height: usize, n_shapes: usize, seed: u64) -> BinaryImage {
+    let mut img = BinaryImage::zeros(width, height);
+    if width < 4 || height < 4 {
+        return img;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for _ in 0..n_shapes {
+        match rng.random_range(0..3u32) {
+            0 => {
+                // filled rectangle
+                let r0 = rng.random_range(0..height - 1);
+                let c0 = rng.random_range(0..width - 1);
+                let rh = rng.random_range(1..=(height / 6).max(2));
+                let rw = rng.random_range(1..=(width / 6).max(2));
+                for r in r0..(r0 + rh).min(height) {
+                    for c in c0..(c0 + rw).min(width) {
+                        img.set(r, c, true);
+                    }
+                }
+            }
+            1 => {
+                // ring (rectangle outline)
+                let r0 = rng.random_range(0..height - 3);
+                let c0 = rng.random_range(0..width - 3);
+                let rh = rng.random_range(3..=(height / 4).max(4));
+                let rw = rng.random_range(3..=(width / 4).max(4));
+                let r1 = (r0 + rh).min(height - 1);
+                let c1 = (c0 + rw).min(width - 1);
+                for c in c0..=c1 {
+                    img.set(r0, c, true);
+                    img.set(r1, c, true);
+                }
+                for r in r0..=r1 {
+                    img.set(r, c0, true);
+                    img.set(r, c1, true);
+                }
+            }
+            _ => {
+                // Bresenham-ish line segment
+                let (mut r, mut c) = (
+                    rng.random_range(0..height) as f64,
+                    rng.random_range(0..width) as f64,
+                );
+                let angle = rng.random::<f64>() * std::f64::consts::TAU;
+                let len = rng.random_range(4..(width + height) / 4);
+                let (dr, dc) = (angle.sin(), angle.cos());
+                for _ in 0..len {
+                    if r < 0.0 || c < 0.0 || r >= height as f64 || c >= width as f64 {
+                        break;
+                    }
+                    img.set(r as usize, c as usize, true);
+                    r += dr;
+                    c += dc;
+                }
+            }
+        }
+    }
+    img
+}
+
+/// Lays out random 5×7 dot-matrix glyphs in text lines: glyph cells of
+/// 6×8 pixels (1px letter spacing, 1px line spacing scaled by `scale`).
+pub fn text_page(width: usize, height: usize, scale: usize, seed: u64) -> BinaryImage {
+    let scale = scale.max(1);
+    let mut img = BinaryImage::zeros(width, height);
+    let cell_w = 6 * scale;
+    let cell_h = 9 * scale;
+    if width < cell_w || height < cell_h {
+        return img;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let cols = width / cell_w;
+    let rows = height / cell_h;
+    for gr in 0..rows {
+        for gc in 0..cols {
+            // ~15% spaces
+            if rng.random::<f64>() < 0.15 {
+                continue;
+            }
+            // random 5x7 glyph bitmap; forced center column so most glyphs
+            // are single components (like real characters)
+            let mut glyph = [[false; 5]; 7];
+            for row in &mut glyph {
+                for cell in row.iter_mut() {
+                    *cell = rng.random::<f64>() < 0.55;
+                }
+            }
+            for (i, row) in glyph.iter_mut().enumerate() {
+                row[2] |= i % 2 == 0;
+            }
+            let base_r = gr * cell_h;
+            let base_c = gc * cell_w;
+            for (i, row) in glyph.iter().enumerate() {
+                for (j, &on) in row.iter().enumerate() {
+                    if !on {
+                        continue;
+                    }
+                    for sr in 0..scale {
+                        for sc in 0..scale {
+                            let r = base_r + i * scale + sr;
+                            let c = base_c + j * scale + sc;
+                            if r < height && c < width {
+                                img.set(r, c, true);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(shape_scene(100, 100, 20, 1), shape_scene(100, 100, 20, 1));
+        assert_eq!(text_page(120, 80, 1, 2), text_page(120, 80, 1, 2));
+    }
+
+    #[test]
+    fn shape_scene_nonempty() {
+        let img = shape_scene(128, 128, 30, 7);
+        assert!(img.count_foreground() > 100);
+        assert!(img.density() < 0.9);
+    }
+
+    #[test]
+    fn tiny_canvas_is_safe() {
+        assert_eq!(shape_scene(3, 3, 10, 1).count_foreground(), 0);
+        assert_eq!(text_page(4, 4, 1, 1).count_foreground(), 0);
+    }
+
+    #[test]
+    fn text_page_produces_many_small_components() {
+        use ccl_core::seq::flood_fill_label;
+        let img = text_page(240, 180, 1, 3);
+        let li = flood_fill_label(&img);
+        // a page of glyphs: lots of components
+        assert!(li.num_components() > 50, "{}", li.num_components());
+        // median component is glyph-sized, not page-sized
+        let mut sizes: Vec<usize> = li.component_sizes().into_iter().skip(1).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        assert!(median <= 35 * 4, "median {median}");
+    }
+
+    #[test]
+    fn text_page_scaling_grows_glyphs() {
+        let s1 = text_page(240, 180, 1, 4);
+        let s2 = text_page(480, 360, 2, 4);
+        // same layout at 2x scale => ~4x foreground
+        let ratio = s2.count_foreground() as f64 / s1.count_foreground() as f64;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+}

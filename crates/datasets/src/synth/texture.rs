@@ -1,0 +1,108 @@
+//! Periodic and quasi-periodic textures — the "Texture" stand-in.
+//!
+//! USC-SIPI texture images (Brodatz scans) binarize into dense repeating
+//! micro-structure: short runs, high transition counts, few large
+//! components. These generators cover that space: oriented stripes,
+//! checkerboards, thresholded sinusoidal gratings and concentric rings
+//! ("wood grain").
+
+use ccl_image::threshold::im2bw;
+use ccl_image::{BinaryImage, GrayImage};
+
+/// Diagonal stripes: foreground where `(r·dy + c·dx) mod period < width`.
+pub fn stripes(
+    width: usize,
+    height: usize,
+    period: usize,
+    stripe_width: usize,
+    direction: (usize, usize),
+) -> BinaryImage {
+    let period = period.max(1);
+    let stripe_width = stripe_width.min(period);
+    let (dy, dx) = direction;
+    BinaryImage::from_fn(width, height, |r, c| {
+        (r * dy + c * dx) % period < stripe_width
+    })
+}
+
+/// Checkerboard with `cell × cell` squares.
+pub fn checkerboard(width: usize, height: usize, cell: usize) -> BinaryImage {
+    let cell = cell.max(1);
+    BinaryImage::from_fn(width, height, |r, c| {
+        (r / cell + c / cell).is_multiple_of(2)
+    })
+}
+
+/// Two crossed sinusoidal gratings rendered to grayscale and binarized at
+/// level 0.5 — the `im2bw` pipeline of the paper.
+pub fn grating(width: usize, height: usize, fx: f64, fy: f64, phase: f64) -> BinaryImage {
+    let gray = GrayImage::from_fn(width, height, |r, c| {
+        let v = ((c as f64 * fx + phase).sin() + (r as f64 * fy).cos()) * 0.25 + 0.5;
+        (v.clamp(0.0, 1.0) * 255.0) as u8
+    });
+    im2bw(&gray, 0.5)
+}
+
+/// Concentric rings around the image center ("wood grain").
+pub fn rings(width: usize, height: usize, period: f64) -> BinaryImage {
+    let period = period.max(2.0);
+    let (cy, cx) = (height as f64 / 2.0, width as f64 / 2.0);
+    BinaryImage::from_fn(width, height, |r, c| {
+        let d = ((r as f64 - cy).powi(2) + (c as f64 - cx).powi(2)).sqrt();
+        (d / period).fract() < 0.5
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_have_expected_density() {
+        let img = stripes(100, 100, 10, 5, (0, 1));
+        assert!((img.density() - 0.5).abs() < 0.01);
+        // vertical stripes: each row identical
+        assert_eq!(img.row(0), img.row(99));
+    }
+
+    #[test]
+    fn diagonal_stripes_shift_per_row() {
+        let img = stripes(50, 50, 8, 4, (1, 1));
+        assert_ne!(img.row(0), img.row(1));
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(8, 8, 2);
+        assert_eq!(img.get(0, 0), 1);
+        assert_eq!(img.get(0, 2), 0);
+        assert_eq!(img.get(2, 0), 0);
+        assert_eq!(img.get(2, 2), 1);
+        assert!((img.density() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grating_is_roughly_half_dense() {
+        let img = grating(128, 128, 0.3, 0.2, 0.0);
+        let d = img.density();
+        assert!(d > 0.3 && d < 0.7, "density {d}");
+    }
+
+    #[test]
+    fn rings_center_symmetry() {
+        let img = rings(64, 64, 8.0);
+        // same distance -> same value
+        assert_eq!(img.get(32, 40), img.get(40, 32));
+        let d = img.density();
+        assert!(d > 0.3 && d < 0.7, "density {d}");
+    }
+
+    #[test]
+    fn degenerate_parameters() {
+        // period smaller than stripe width clamps; period 0 becomes 1
+        let img = stripes(10, 10, 0, 5, (0, 1));
+        assert_eq!(img.count_foreground(), 100);
+        let c = checkerboard(4, 4, 0);
+        assert_eq!(c.get(0, 0), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration checks over the dataset suite: the families must have the
+//! structural spread that makes the paper's comparisons meaningful.
+
+use ccl_core::seq::flood_fill_label;
+use ccl_datasets::suite::{miscellaneous, nlcd, small_families, texture};
+use ccl_image::stats::binary_stats;
+
+#[test]
+fn family_images_are_structurally_diverse() {
+    for family in small_families() {
+        let densities: Vec<f64> = family
+            .images
+            .iter()
+            .map(|img| img.image.density())
+            .collect();
+        // no degenerate (empty/full) images
+        for (img, &d) in family.images.iter().zip(&densities) {
+            assert!(d > 0.01 && d < 0.99, "{} density {d}", img.name);
+        }
+        // the family must span a density range, not clones of one image
+        let min = densities.iter().cloned().fold(f64::MAX, f64::min);
+        let max = densities.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            max - min > 0.05,
+            "{}: density spread {min}..{max}",
+            family.name
+        );
+    }
+}
+
+#[test]
+fn texture_images_have_short_runs_misc_mixed() {
+    // textures: repeating micro-structure => short mean runs
+    let tex = texture();
+    for img in &tex.images {
+        let stats = binary_stats(&img.image);
+        assert!(
+            stats.mean_run_len < 64.0,
+            "{} mean run {}",
+            img.name,
+            stats.mean_run_len
+        );
+    }
+    let misc = miscellaneous();
+    let comps: Vec<u32> = misc
+        .images
+        .iter()
+        .map(|img| flood_fill_label(&img.image).num_components())
+        .collect();
+    // miscellaneous spans orders of magnitude in component count
+    let min = comps.iter().min().unwrap();
+    let max = comps.iter().max().unwrap();
+    assert!(max / min.max(&1) >= 4, "misc components {comps:?}");
+}
+
+#[test]
+fn nlcd_images_have_landcover_structure() {
+    let fam = nlcd(0.003); // small but structurally representative
+    for img in &fam.images {
+        let stats = binary_stats(&img.image);
+        assert!(
+            stats.mean_run_len > 4.0,
+            "{}: runs too short for land cover ({})",
+            img.name,
+            stats.mean_run_len
+        );
+        let li = flood_fill_label(&img.image);
+        assert!(li.num_components() > 0);
+        // regions, not speckle: components much fewer than pixels
+        assert!(
+            (li.num_components() as usize) < img.image.len() / 100,
+            "{}: {} components in {} px",
+            img.name,
+            li.num_components(),
+            img.image.len()
+        );
+    }
+}
+
+#[test]
+fn nlcd_scaling_preserves_structure_class() {
+    use ccl_datasets::suite::nlcd_image;
+    // the same index at different scales keeps land-cover-like run stats
+    for &scale in &[0.002, 0.01] {
+        let img = nlcd_image(2, scale);
+        let stats = binary_stats(&img.image);
+        assert!(stats.mean_run_len > 4.0, "scale {scale}");
+        assert!(stats.density > 0.2 && stats.density < 0.8, "scale {scale}");
+    }
+}

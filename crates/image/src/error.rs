@@ -1,0 +1,111 @@
+//! Error type shared by the image substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or (de)serializing images.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Width/height pair whose pixel count overflows `usize`, or a buffer
+    /// whose length does not match `width * height`.
+    Dimensions {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// Length of the provided buffer, if the mismatch involves one.
+        buffer_len: Option<usize>,
+    },
+    /// A pixel value outside the valid range for the raster type
+    /// (e.g. a `BinaryImage` sample that is neither 0 nor 1).
+    InvalidPixel {
+        /// Linear index of the offending pixel.
+        index: usize,
+        /// The value found there.
+        value: u8,
+    },
+    /// Malformed Netpbm stream.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Dimensions {
+                width,
+                height,
+                buffer_len,
+            } => match buffer_len {
+                Some(len) => write!(
+                    f,
+                    "buffer of length {len} does not match {width}x{height} image"
+                ),
+                None => write!(f, "invalid image dimensions {width}x{height}"),
+            },
+            ImageError::InvalidPixel { index, value } => {
+                write!(f, "invalid pixel value {value} at index {index}")
+            }
+            ImageError::Parse(msg) => write!(f, "netpbm parse error: {msg}"),
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimensions_with_buffer() {
+        let e = ImageError::Dimensions {
+            width: 3,
+            height: 4,
+            buffer_len: Some(10),
+        };
+        assert_eq!(
+            e.to_string(),
+            "buffer of length 10 does not match 3x4 image"
+        );
+    }
+
+    #[test]
+    fn display_dimensions_without_buffer() {
+        let e = ImageError::Dimensions {
+            width: usize::MAX,
+            height: 2,
+            buffer_len: None,
+        };
+        assert!(e.to_string().contains("invalid image dimensions"));
+    }
+
+    #[test]
+    fn display_invalid_pixel() {
+        let e = ImageError::InvalidPixel { index: 7, value: 9 };
+        assert_eq!(e.to_string(), "invalid pixel value 9 at index 7");
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "boom");
+        let e = ImageError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,182 @@
+//! 8-bit grayscale raster, the input to thresholding.
+
+use crate::error::ImageError;
+
+/// An 8-bit grayscale image, row-major.
+#[derive(Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates an all-black image.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        let pixels = width
+            .checked_mul(height)
+            .expect("image dimensions overflow");
+        GrayImage {
+            width,
+            height,
+            data: vec![0u8; pixels],
+        }
+    }
+
+    /// Builds an image by evaluating `f(row, col)` for every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut img = Self::zeros(width, height);
+        for r in 0..height {
+            for c in 0..width {
+                img.data[r * width + c] = f(r, c);
+            }
+        }
+        img
+    }
+
+    /// Wraps an existing luminance buffer.
+    pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Result<Self, ImageError> {
+        if width.checked_mul(height) != Some(data.len()) {
+            return Err(ImageError::Dimensions {
+                width,
+                height,
+                buffer_len: Some(data.len()),
+            });
+        }
+        Ok(GrayImage {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Image width (columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height (rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the image contains no pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Luminance at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        debug_assert!(row < self.height && col < self.width);
+        self.data[row * self.width + col]
+    }
+
+    /// Sets the luminance at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: u8) {
+        debug_assert!(row < self.height && col < self.width);
+        self.data[row * self.width + col] = value;
+    }
+
+    /// Read-only view of the raw luminance buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable view of the raw luminance buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the image and returns its buffer.
+    pub fn into_raw(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// 256-bin luminance histogram.
+    pub fn histogram(&self) -> [usize; 256] {
+        let mut hist = [0usize; 256];
+        for &v in &self.data {
+            hist[v as usize] += 1;
+        }
+        hist
+    }
+
+    /// Mean luminance. Returns 0 for an empty image.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.data.iter().map(|&v| v as u64).sum();
+        sum as f64 / self.data.len() as f64
+    }
+}
+
+impl std::fmt::Debug for GrayImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GrayImage({}x{}, mean={:.1})",
+            self.width,
+            self.height,
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_gradient() {
+        let img = GrayImage::from_fn(4, 2, |r, c| (r * 4 + c) as u8 * 10);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(1, 3), 70);
+    }
+
+    #[test]
+    fn from_raw_checks_length() {
+        assert!(GrayImage::from_raw(2, 2, vec![0; 3]).is_err());
+        assert!(GrayImage::from_raw(2, 2, vec![0; 4]).is_ok());
+    }
+
+    #[test]
+    fn histogram_counts_every_pixel() {
+        let img = GrayImage::from_fn(3, 3, |r, _| if r == 0 { 5 } else { 200 });
+        let h = img.histogram();
+        assert_eq!(h[5], 3);
+        assert_eq!(h[200], 6);
+        assert_eq!(h.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn mean_of_uniform() {
+        let img = GrayImage::from_fn(10, 10, |_, _| 42);
+        assert!((img.mean() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(GrayImage::zeros(0, 5).mean(), 0.0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut img = GrayImage::zeros(3, 3);
+        img.set(2, 1, 99);
+        assert_eq!(img.get(2, 1), 99);
+    }
+}

@@ -1,0 +1,148 @@
+//! PGM (portable graymap) read/write, formats `P2` (ASCII) and `P5`
+//! (binary), maxval ≤ 255.
+
+use crate::error::ImageError;
+use crate::gray::GrayImage;
+
+use super::{expect_single_whitespace, next_token, next_usize};
+
+/// Serializes to ASCII PGM (`P2`) with maxval 255.
+pub fn write_ascii(img: &GrayImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(img.len() * 4 + 32);
+    out.extend_from_slice(format!("P2\n{} {}\n255\n", img.width(), img.height()).as_bytes());
+    for r in 0..img.height() {
+        let mut line = String::new();
+        for c in 0..img.width() {
+            if c > 0 {
+                line.push(' ');
+            }
+            line.push_str(&img.get(r, c).to_string());
+        }
+        line.push('\n');
+        out.extend_from_slice(line.as_bytes());
+    }
+    out
+}
+
+/// Serializes to binary PGM (`P5`) with maxval 255.
+pub fn write_binary(img: &GrayImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(img.len() + 32);
+    out.extend_from_slice(format!("P5\n{} {}\n255\n", img.width(), img.height()).as_bytes());
+    out.extend_from_slice(img.as_slice());
+    out
+}
+
+/// Parses either PGM format, dispatching on the magic number.
+///
+/// Maxvals other than 255 are accepted for ASCII input and rescaled to the
+/// 0–255 range; binary input requires maxval ≤ 255 (one byte per sample).
+pub fn read(data: &[u8]) -> Result<GrayImage, ImageError> {
+    let mut pos = 0usize;
+    let magic = next_token(data, &mut pos)?;
+    match magic {
+        b"P2" => read_ascii_body(data, &mut pos),
+        b"P5" => read_binary_body(data, &mut pos),
+        other => Err(ImageError::Parse(format!(
+            "not a PGM stream (magic {:?})",
+            String::from_utf8_lossy(other)
+        ))),
+    }
+}
+
+fn read_ascii_body(data: &[u8], pos: &mut usize) -> Result<GrayImage, ImageError> {
+    let width = next_usize(data, pos)?;
+    let height = next_usize(data, pos)?;
+    let maxval = next_usize(data, pos)?;
+    if maxval == 0 || maxval > 65535 {
+        return Err(ImageError::Parse(format!("invalid maxval {maxval}")));
+    }
+    let mut pixels = Vec::with_capacity(width * height);
+    for _ in 0..width * height {
+        let v = next_usize(data, pos)?;
+        if v > maxval {
+            return Err(ImageError::Parse(format!(
+                "sample {v} exceeds maxval {maxval}"
+            )));
+        }
+        pixels.push(((v * 255 + maxval / 2) / maxval) as u8);
+    }
+    GrayImage::from_raw(width, height, pixels)
+}
+
+fn read_binary_body(data: &[u8], pos: &mut usize) -> Result<GrayImage, ImageError> {
+    let width = next_usize(data, pos)?;
+    let height = next_usize(data, pos)?;
+    let maxval = next_usize(data, pos)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImageError::Parse(format!(
+            "binary PGM requires maxval in 1..=255, got {maxval}"
+        )));
+    }
+    expect_single_whitespace(data, pos)?;
+    let need = width * height;
+    if data.len() - *pos < need {
+        return Err(ImageError::Parse("truncated P5 sample data".into()));
+    }
+    let mut pixels = data[*pos..*pos + need].to_vec();
+    if maxval != 255 {
+        for v in &mut pixels {
+            *v = ((*v as usize * 255 + maxval / 2) / maxval).min(255) as u8;
+        }
+    }
+    *pos += need;
+    GrayImage::from_raw(width, height, pixels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GrayImage {
+        GrayImage::from_fn(5, 4, |r, c| (r * 50 + c * 13) as u8)
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let img = sample();
+        assert_eq!(read(&write_ascii(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let img = sample();
+        assert_eq!(read(&write_binary(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn ascii_rescales_small_maxval() {
+        let data = b"P2\n2 1\n15\n0 15\n";
+        let img = read(data).unwrap();
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(0, 1), 255);
+    }
+
+    #[test]
+    fn binary_rescales_small_maxval() {
+        let data = b"P5\n2 1\n100\n\x00\x64";
+        let img = read(data).unwrap();
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(0, 1), 255);
+    }
+
+    #[test]
+    fn rejects_sample_above_maxval() {
+        assert!(read(b"P2\n1 1\n10\n11\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_bad_maxval() {
+        assert!(read(b"P1\n1 1\n0\n").is_err());
+        assert!(read(b"P2\n1 1\n0\n0\n").is_err());
+        assert!(read(b"P5\n1 1\n999\n\x00").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_binary() {
+        assert!(read(b"P5\n3 3\n255\n\x01\x02").is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Binary morphology with 3×3 structuring elements.
+//!
+//! Used by the synthetic dataset generators in `ccl-datasets` to shape
+//! component boundaries (e.g. closing speckle noise into NLCD-like
+//! regions). Out-of-bounds pixels are treated as background, matching the
+//! conventions of the labeling algorithms.
+
+use crate::bitmap::BinaryImage;
+use crate::connectivity::Connectivity;
+
+/// Structuring element for the 3×3 morphological operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structuring {
+    /// The full 3×3 box (8-neighbourhood plus center).
+    Box3,
+    /// The 3×3 cross (4-neighbourhood plus center).
+    Cross3,
+}
+
+impl Structuring {
+    fn neighbourhood(self) -> Connectivity {
+        match self {
+            Structuring::Box3 => Connectivity::Eight,
+            Structuring::Cross3 => Connectivity::Four,
+        }
+    }
+}
+
+/// Dilation: a pixel is foreground iff any pixel under the structuring
+/// element (centered on it) is foreground.
+pub fn dilate(img: &BinaryImage, se: Structuring) -> BinaryImage {
+    let offs = se.neighbourhood().offsets();
+    BinaryImage::from_fn(img.width(), img.height(), |r, c| {
+        if img.get(r, c) == 1 {
+            return true;
+        }
+        offs.iter()
+            .any(|&(dr, dc)| img.get_or_bg(r as isize + dr, c as isize + dc) == 1)
+    })
+}
+
+/// Erosion: a pixel stays foreground iff every pixel under the structuring
+/// element is foreground (border pixels therefore always erode).
+pub fn erode(img: &BinaryImage, se: Structuring) -> BinaryImage {
+    let offs = se.neighbourhood().offsets();
+    BinaryImage::from_fn(img.width(), img.height(), |r, c| {
+        img.get(r, c) == 1
+            && offs
+                .iter()
+                .all(|&(dr, dc)| img.get_or_bg(r as isize + dr, c as isize + dc) == 1)
+    })
+}
+
+/// Opening: erosion followed by dilation. Removes features smaller than
+/// the structuring element.
+pub fn open(img: &BinaryImage, se: Structuring) -> BinaryImage {
+    dilate(&erode(img, se), se)
+}
+
+/// Closing: dilation followed by erosion. Fills gaps smaller than the
+/// structuring element.
+pub fn close(img: &BinaryImage, se: Structuring) -> BinaryImage {
+    erode(&dilate(img, se), se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilate_grows_single_pixel() {
+        let mut img = BinaryImage::zeros(5, 5);
+        img.set(2, 2, true);
+        let d8 = dilate(&img, Structuring::Box3);
+        assert_eq!(d8.count_foreground(), 9);
+        let d4 = dilate(&img, Structuring::Cross3);
+        assert_eq!(d4.count_foreground(), 5);
+    }
+
+    #[test]
+    fn erode_removes_single_pixel() {
+        let mut img = BinaryImage::zeros(5, 5);
+        img.set(2, 2, true);
+        assert_eq!(erode(&img, Structuring::Box3).count_foreground(), 0);
+        assert_eq!(erode(&img, Structuring::Cross3).count_foreground(), 0);
+    }
+
+    #[test]
+    fn erode_keeps_interior_of_solid_block() {
+        let img = BinaryImage::parse(
+            ".....
+             .###.
+             .###.
+             .###.
+             .....",
+        );
+        let e = erode(&img, Structuring::Box3);
+        assert_eq!(e.count_foreground(), 1);
+        assert_eq!(e.get(2, 2), 1);
+    }
+
+    #[test]
+    fn border_pixels_always_erode() {
+        let img = BinaryImage::ones(4, 4);
+        let e = erode(&img, Structuring::Box3);
+        assert_eq!(e.count_foreground(), 4); // only the inner 2x2 survives
+    }
+
+    #[test]
+    fn open_removes_speckle_keeps_block() {
+        let mut img = BinaryImage::parse(
+            ".......
+             .###...
+             .###...
+             .###...
+             .......",
+        );
+        img.set(0, 6, true); // speckle
+        let o = open(&img, Structuring::Box3);
+        assert_eq!(o.get(0, 6), 0);
+        assert_eq!(o.get(2, 2), 1);
+    }
+
+    #[test]
+    fn close_fills_small_hole() {
+        let img = BinaryImage::parse(
+            "#####
+             ##.##
+             #####",
+        );
+        let c = close(&img, Structuring::Box3);
+        assert_eq!(c.get(1, 2), 1);
+    }
+
+    #[test]
+    fn dilate_then_erode_of_big_block_is_identity_in_interior() {
+        let img = BinaryImage::parse(
+            ".......
+             .#####.
+             .#####.
+             .#####.
+             .......",
+        );
+        let oc = close(&img, Structuring::Box3);
+        for r in 1..4 {
+            for c in 1..6 {
+                assert_eq!(oc.get(r, c), 1);
+            }
+        }
+    }
+}

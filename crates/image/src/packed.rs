@@ -1,0 +1,175 @@
+//! Bit-packed binary raster.
+//!
+//! The NLCD-class experiments use images up to 465.20 MB of byte-per-pixel
+//! raster. [`PackedBinaryImage`] stores the same content at one bit per
+//! pixel (8× smaller), which is how the dataset suite keeps several large
+//! images resident while sweeping thread counts. Conversion to/from
+//! [`BinaryImage`] is lossless.
+
+use crate::bitmap::BinaryImage;
+
+/// A binary image stored one bit per pixel, rows padded to whole 64-bit
+/// words so each row starts word-aligned.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PackedBinaryImage {
+    width: usize,
+    height: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl PackedBinaryImage {
+    /// Creates an all-background packed image.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        let words_per_row = width.div_ceil(64);
+        let total = words_per_row
+            .checked_mul(height)
+            .expect("image dimensions overflow");
+        PackedBinaryImage {
+            width,
+            height,
+            words_per_row,
+            words: vec![0u64; total],
+        }
+    }
+
+    /// Packs a byte-per-pixel image.
+    pub fn from_binary(img: &BinaryImage) -> Self {
+        let mut out = Self::zeros(img.width(), img.height());
+        for r in 0..img.height() {
+            let row = img.row(r);
+            let base = r * out.words_per_row;
+            for (c, &v) in row.iter().enumerate() {
+                if v == 1 {
+                    out.words[base + c / 64] |= 1u64 << (c % 64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Unpacks to a byte-per-pixel image.
+    pub fn to_binary(&self) -> BinaryImage {
+        let mut data = vec![0u8; self.width * self.height];
+        for r in 0..self.height {
+            let base = r * self.words_per_row;
+            let row = &mut data[r * self.width..(r + 1) * self.width];
+            for (c, px) in row.iter_mut().enumerate() {
+                *px = ((self.words[base + c / 64] >> (c % 64)) & 1) as u8;
+            }
+        }
+        BinaryImage::from_raw(self.width, self.height, data).expect("valid by construction")
+    }
+
+    /// Image width (columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height (rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel value (0/1) at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        debug_assert!(row < self.height && col < self.width);
+        ((self.words[row * self.words_per_row + col / 64] >> (col % 64)) & 1) as u8
+    }
+
+    /// Sets pixel `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        debug_assert!(row < self.height && col < self.width);
+        let word = &mut self.words[row * self.words_per_row + col / 64];
+        let mask = 1u64 << (col % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of foreground pixels, via word popcounts.
+    pub fn count_foreground(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bytes of storage used by the packed representation.
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl std::fmt::Debug for PackedBinaryImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PackedBinaryImage({}x{}, {} bytes)",
+            self.width,
+            self.height,
+            self.storage_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_pixels() {
+        let img = BinaryImage::parse(
+            "#..#..#
+             .##.##.
+             #######
+             .......",
+        );
+        let packed = PackedBinaryImage::from_binary(&img);
+        assert_eq!(packed.to_binary(), img);
+        assert_eq!(packed.count_foreground(), img.count_foreground());
+    }
+
+    #[test]
+    fn round_trip_at_word_boundaries() {
+        // widths straddling the 64-bit word boundary
+        for width in [63, 64, 65, 127, 128, 129] {
+            let img = BinaryImage::from_fn(width, 3, |r, c| (r * 31 + c * 7) % 3 == 0);
+            let packed = PackedBinaryImage::from_binary(&img);
+            assert_eq!(packed.to_binary(), img, "width {width}");
+        }
+    }
+
+    #[test]
+    fn get_set_individual_bits() {
+        let mut p = PackedBinaryImage::zeros(100, 2);
+        p.set(1, 99, true);
+        p.set(0, 64, true);
+        assert_eq!(p.get(1, 99), 1);
+        assert_eq!(p.get(0, 64), 1);
+        assert_eq!(p.get(0, 63), 0);
+        p.set(1, 99, false);
+        assert_eq!(p.get(1, 99), 0);
+        assert_eq!(p.count_foreground(), 1);
+    }
+
+    #[test]
+    fn storage_is_eight_times_smaller() {
+        let img = BinaryImage::zeros(1024, 1024);
+        let packed = PackedBinaryImage::from_binary(&img);
+        assert_eq!(packed.storage_bytes(), img.raster_bytes() / 8);
+        assert_eq!(packed.storage_bytes(), 1024 * 1024 / 8);
+    }
+
+    #[test]
+    fn rows_are_word_aligned_and_independent() {
+        // width 1 => one word per row; setting a bit in row 0 must not
+        // bleed into row 1.
+        let mut p = PackedBinaryImage::zeros(1, 2);
+        p.set(0, 0, true);
+        assert_eq!(p.get(1, 0), 0);
+    }
+}

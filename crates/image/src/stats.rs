@@ -1,0 +1,106 @@
+//! Structural statistics of binary images.
+//!
+//! CCL cost is driven by the image's *structure* — density, run counts,
+//! transition frequency — rather than by its content. The dataset suite
+//! uses these statistics to document what each synthetic family looks
+//! like, and the benchmark reports include them so results can be
+//! interpreted.
+
+use crate::bitmap::BinaryImage;
+
+/// Summary of the structural properties that drive CCL cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryStats {
+    /// Total pixels.
+    pub pixels: usize,
+    /// Foreground pixel count.
+    pub foreground: usize,
+    /// Foreground fraction, `[0, 1]`.
+    pub density: f64,
+    /// Number of maximal horizontal foreground runs.
+    pub runs: usize,
+    /// Mean run length (0 when there are no runs).
+    pub mean_run_len: f64,
+    /// Number of 0→1 and 1→0 transitions along rows (proxy for how often
+    /// the scan phase changes branch direction).
+    pub row_transitions: usize,
+}
+
+/// Computes [`BinaryStats`] for an image.
+pub fn binary_stats(img: &BinaryImage) -> BinaryStats {
+    let mut runs = 0usize;
+    let mut transitions = 0usize;
+    for r in 0..img.height() {
+        let row = img.row(r);
+        let mut prev = 0u8;
+        for &v in row {
+            if v != prev {
+                transitions += 1;
+                if v == 1 {
+                    runs += 1;
+                }
+            }
+            prev = v;
+        }
+        if prev == 1 {
+            transitions += 1; // implicit trailing edge
+        }
+    }
+    let foreground = img.count_foreground();
+    BinaryStats {
+        pixels: img.len(),
+        foreground,
+        density: img.density(),
+        runs,
+        mean_run_len: if runs == 0 {
+            0.0
+        } else {
+            foreground as f64 / runs as f64
+        },
+        row_transitions: transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_image() {
+        let s = binary_stats(&BinaryImage::zeros(8, 8));
+        assert_eq!(s.foreground, 0);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.mean_run_len, 0.0);
+        assert_eq!(s.row_transitions, 0);
+    }
+
+    #[test]
+    fn stats_of_full_image() {
+        let s = binary_stats(&BinaryImage::ones(8, 4));
+        assert_eq!(s.foreground, 32);
+        assert_eq!(s.runs, 4); // one run per row
+        assert_eq!(s.mean_run_len, 8.0);
+        // each row: one rising edge + one trailing edge
+        assert_eq!(s.row_transitions, 8);
+    }
+
+    #[test]
+    fn stats_of_alternating_row() {
+        let img = BinaryImage::parse("#.#.#");
+        let s = binary_stats(&img);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.foreground, 3);
+        assert_eq!(s.mean_run_len, 1.0);
+        // edges: 0->1 at c0? prev starts 0, c0=1 -> transition; c1=0 ->
+        // transition; c2=1; c3=0; c4=1; trailing edge. total 6.
+        assert_eq!(s.row_transitions, 6);
+    }
+
+    #[test]
+    fn density_matches_image() {
+        let img = BinaryImage::parse("##.. ....");
+        let s = binary_stats(&img);
+        assert!((s.density - 0.25).abs() < 1e-12);
+        assert_eq!(s.pixels, 8);
+    }
+}

@@ -1,0 +1,72 @@
+//! Character-blob extraction from a synthetic document page — the
+//! character-recognition workload the paper's introduction motivates.
+//! Labels a dot-matrix "text page", then groups the glyph components
+//! into text lines via their bounding boxes.
+//!
+//! ```text
+//! cargo run --release --example document_components
+//! ```
+
+use paremsp::core::seq::aremsp;
+use paremsp::datasets::synth::shapes::text_page;
+
+fn main() {
+    let img = text_page(960, 720, 2, 77);
+    println!(
+        "document page: {}x{}, ink fraction {:.1}%",
+        img.width(),
+        img.height(),
+        img.density() * 100.0
+    );
+
+    let labels = aremsp(&img);
+    println!("{} glyph components found", labels.num_components());
+
+    // Group components into text lines by bounding-box vertical overlap.
+    let boxes = labels.bounding_boxes();
+    let mut by_top: Vec<(usize, usize)> = boxes.iter().enumerate().map(|(i, b)| (b.0, i)).collect();
+    by_top.sort_unstable();
+    let mut lines: Vec<Vec<usize>> = Vec::new();
+    let mut current_bottom = 0usize;
+    for (top, idx) in by_top {
+        match lines.last_mut() {
+            Some(line) if top <= current_bottom => {
+                line.push(idx);
+                current_bottom = current_bottom.max(boxes[idx].2);
+            }
+            _ => {
+                lines.push(vec![idx]);
+                current_bottom = boxes[idx].2;
+            }
+        }
+    }
+    println!("{} text lines detected", lines.len());
+    for (i, line) in lines.iter().take(5).enumerate() {
+        let sizes = labels.component_sizes();
+        let ink: usize = line.iter().map(|&idx| sizes[idx + 1]).sum();
+        println!(
+            "  line {}: {} glyphs, rows {}..={}, {} ink px",
+            i + 1,
+            line.len(),
+            boxes[line[0]].0,
+            line.iter().map(|&idx| boxes[idx].2).max().unwrap(),
+            ink
+        );
+    }
+    if lines.len() > 5 {
+        println!("  …");
+    }
+
+    // Typical glyph metrics (useful as OCR features).
+    let sizes = labels.component_sizes();
+    let mut glyph_sizes: Vec<usize> = sizes[1..].to_vec();
+    glyph_sizes.sort_unstable();
+    if !glyph_sizes.is_empty() {
+        println!(
+            "glyph ink: median {} px, min {} px, max {} px",
+            glyph_sizes[glyph_sizes.len() / 2],
+            glyph_sizes[0],
+            glyph_sizes[glyph_sizes.len() - 1]
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: label a small image with every algorithm in the library.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use paremsp::core::Algorithm;
+use paremsp::image::BinaryImage;
+
+fn main() {
+    // A small scene with three 8-connected components.
+    let img = BinaryImage::parse(
+        "##....##..
+         ##....##..
+         ..........
+         ...####...
+         ...#..#...
+         ...####...",
+    );
+    println!("input ({}x{}):\n{img:?}", img.width(), img.height());
+
+    // The paper's best sequential algorithm…
+    let labels = Algorithm::Aremsp.run(&img);
+    println!("AREMSP found {} components", labels.num_components());
+    println!("{labels:?}");
+
+    // …and the parallel PAREMSP, plus every baseline, all agreeing
+    // (canonicalized: the one-line and two-line scan families number
+    // components in different orders — see `Algorithm::numbering`).
+    let reference = labels.canonicalized();
+    let mut algorithms: Vec<Algorithm> = Algorithm::all_sequential().to_vec();
+    algorithms.push(Algorithm::Paremsp(2));
+    algorithms.push(Algorithm::Paremsp(8));
+    for algo in algorithms {
+        let out = algo.run(&img);
+        assert_eq!(out.canonicalized(), reference, "{} disagreed", algo.name());
+        println!(
+            "{:<12} -> {} components ✓",
+            algo.name(),
+            out.num_components()
+        );
+    }
+
+    // Component statistics.
+    let sizes = labels.component_sizes();
+    for (label, bbox) in labels.bounding_boxes().iter().enumerate() {
+        println!(
+            "component {}: {} px, bbox rows {}..={} cols {}..={}",
+            label + 1,
+            sizes[label + 1],
+            bbox.0,
+            bbox.2,
+            bbox.1,
+            bbox.3
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! # paremsp
+//!
+//! Umbrella crate for the PAREMSP reproduction — *"A New Parallel Algorithm
+//! for Two-Pass Connected Component Labeling"* (Gupta, Palsetia, Patwary,
+//! Agrawal, Choudhary; IPPS 2014).
+//!
+//! This crate re-exports the four component crates under stable module
+//! names so applications need a single dependency:
+//!
+//! * [`image`] — binary/gray/RGB rasters, thresholding (`im2bw`), Netpbm I/O
+//! * [`unionfind`] — REM's union-find with splicing plus every comparison
+//!   variant, and the parallel mergers
+//! * [`core`] — the labeling algorithms: CCLLRPC, CCLREMSP, ARUN, AREMSP
+//!   (sequential) and PAREMSP (parallel)
+//! * [`datasets`] — synthetic stand-ins for the paper's Aerial / Texture /
+//!   Miscellaneous / NLCD datasets, and the measurement harness
+//!
+//! ## Quickstart
+//!
+//! ```
+//! // Leading `::` disambiguates the crate from the `paremsp` *function*
+//! // being imported out of it.
+//! use ::paremsp::prelude::{aremsp, labelings_equivalent, paremsp, BinaryImage};
+//!
+//! // A small scene: three 8-connected components. (Rows separated by
+//! // spaces — rustdoc treats lines *starting* with `#` specially.)
+//! let img = BinaryImage::parse("##..## ##..## ...... .##...");
+//!
+//! // Label with the paper's best sequential algorithm…
+//! let seq = aremsp(&img);
+//! assert_eq!(seq.num_components(), 3);
+//!
+//! // …or in parallel with PAREMSP.
+//! let par = paremsp(&img, 4);
+//! assert_eq!(par.num_components(), 3);
+//! assert!(labelings_equivalent(&seq, &par));
+//! ```
+
+pub use ccl_core as core;
+pub use ccl_datasets as datasets;
+pub use ccl_image as image;
+pub use ccl_unionfind as unionfind;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use ccl_core::analysis::{
+        count_holes, euler_number, keep_largest_component, region_properties,
+        remove_small_components,
+    };
+    pub use ccl_core::label::LabelImage;
+    pub use ccl_core::par::{
+        multipass_parallel, paremsp, paremsp_rayon, paremsp_with, MergerKind, ParemspConfig,
+    };
+    pub use ccl_core::seq::{
+        aremsp, arun, ccllrpc, cclremsp, contour_label, flood_fill_label, label_four_connectivity,
+        label_grayscale, multipass, run_based,
+    };
+    pub use ccl_core::verify::{labelings_equivalent, verify_labeling};
+    pub use ccl_core::Algorithm;
+    pub use ccl_image::threshold::im2bw;
+    pub use ccl_image::{BinaryImage, Connectivity, GrayImage, RgbImage};
+}
