@@ -1,0 +1,41 @@
+# Local dev targets mirroring .github/workflows/ci.yml step-for-step, so
+# local runs and CI cannot drift. `just ci` is the full gate.
+
+# Full CI gate: everything the workflow runs, in the same order.
+ci: fmt-check clippy build test smoke bench-smoke
+
+# Format the whole workspace in place.
+fmt:
+    cargo fmt --all
+
+# CI's format gate (check only).
+fmt-check:
+    cargo fmt --all --check
+
+# CI's lint gate.
+clippy:
+    cargo clippy --locked --workspace --all-targets -- -D warnings
+
+# Release build of every crate.
+build:
+    cargo build --locked --release --workspace
+
+# Full test suite: unit, integration, property and doc tests.
+test:
+    cargo test --locked -q --workspace
+
+# Run the quickstart example end to end.
+smoke:
+    cargo run --locked --release --example quickstart
+
+# Compile all nine criterion benches without running them.
+bench-smoke:
+    cargo bench --locked --no-run --workspace
+
+# Run the criterion benches (shim harness; CCL_BENCH_MS bounds per-bench time).
+bench:
+    cargo bench --workspace
+
+# Reproduce the paper's tables and figures (synthetic datasets).
+repro:
+    cargo run --release -p ccl-bench --bin repro_all

@@ -1,0 +1,281 @@
+//! Offline shim for the subset of [serde](https://crates.io/crates/serde)
+//! this workspace uses: the [`Serialize`] trait plus `#[derive(Serialize)]`.
+//!
+//! Unlike real serde, this shim is not format-generic: [`Serializer`]
+//! writes pretty-printed JSON directly (the only format the workspace
+//! emits, via the `serde_json` shim). See `shims/README.md`.
+
+pub use serde_derive::Serialize;
+
+/// Types serializable to JSON through [`Serializer`].
+pub trait Serialize {
+    /// Writes `self` into `s`.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// A pretty-printing JSON writer (two-space indent, like
+/// `serde_json::to_string_pretty`).
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: String,
+    indent: usize,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the serializer, returning the JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Starts a JSON object; used by `#[derive(Serialize)]`.
+    pub fn begin_struct(&mut self) -> StructSerializer<'_> {
+        self.out.push('{');
+        self.indent += 1;
+        StructSerializer {
+            s: self,
+            any_fields: false,
+        }
+    }
+
+    fn serialize_seq<'a, T, I>(&mut self, items: I)
+    where
+        T: Serialize + 'a,
+        I: Iterator<Item = &'a T>,
+    {
+        let mut items = items.peekable();
+        if items.peek().is_none() {
+            self.out.push_str("[]");
+            return;
+        }
+        self.out.push('[');
+        self.indent += 1;
+        let mut first = true;
+        for item in items {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            self.newline_indent();
+            item.serialize(self);
+        }
+        self.indent -= 1;
+        self.newline_indent();
+        self.out.push(']');
+    }
+}
+
+/// In-progress JSON object writer returned by [`Serializer::begin_struct`].
+pub struct StructSerializer<'a> {
+    s: &'a mut Serializer,
+    any_fields: bool,
+}
+
+impl StructSerializer<'_> {
+    /// Writes one `"name": value` member.
+    pub fn field<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        if self.any_fields {
+            self.s.out.push(',');
+        }
+        self.any_fields = true;
+        self.s.newline_indent();
+        self.s.write_escaped(name);
+        self.s.out.push_str(": ");
+        value.serialize(self.s);
+    }
+
+    /// Closes the object.
+    pub fn end(self) {
+        self.s.indent -= 1;
+        if self.any_fields {
+            self.s.newline_indent();
+        }
+        self.s.out.push('}');
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                if self.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats,
+                    // matching serde_json's output.
+                    s.out.push_str(&format!("{self:?}"));
+                } else {
+                    // serde_json maps non-finite floats to null.
+                    s.out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_escaped(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_escaped(self);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.serialize_seq(self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        s.serialize_seq(self.iter());
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.serialize_seq(self.iter());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.out.push_str("null"),
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                s.out.push('[');
+                s.indent += 1;
+                let mut first = true;
+                $(
+                    if !first { s.out.push(','); }
+                    first = false;
+                    s.newline_indent();
+                    self.$idx.serialize(s);
+                )+
+                let _ = first;
+                s.indent -= 1;
+                s.newline_indent();
+                s.out.push(']');
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Serialize, Serializer};
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = Serializer::new();
+        v.serialize(&mut s);
+        s.into_string()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&1.0f64), "1.0");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&42u32), "42");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn sequences_and_tuples() {
+        assert_eq!(to_json(&Vec::<u32>::new()), "[]");
+        assert_eq!(to_json(&vec![1u32, 2]), "[\n  1,\n  2\n]");
+        assert_eq!(to_json(&("x".to_string(), 1u32)), "[\n  \"x\",\n  1\n]");
+    }
+
+    #[test]
+    fn structs_via_manual_impl() {
+        struct P {
+            x: u32,
+            label: String,
+        }
+        impl Serialize for P {
+            fn serialize(&self, s: &mut Serializer) {
+                let mut st = s.begin_struct();
+                st.field("x", &self.x);
+                st.field("label", &self.label);
+                st.end();
+            }
+        }
+        let p = P {
+            x: 7,
+            label: "seven".into(),
+        };
+        assert_eq!(to_json(&p), "{\n  \"x\": 7,\n  \"label\": \"seven\"\n}");
+    }
+}

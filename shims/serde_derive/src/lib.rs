@@ -1,0 +1,90 @@
+//! Offline `#[derive(Serialize)]` for the serde shim.
+//!
+//! Supports plain non-generic structs with named fields — the only shape
+//! this workspace derives. The generated impl writes each field through
+//! `serde::Serializer::begin_struct`. Written against `proc_macro` alone
+//! (no `syn`/`quote`) because the build environment has no registry access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tok) = iter.next() {
+        if let TokenTree::Ident(id) = tok {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                body = iter.find_map(|t| match t {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.clone()),
+                    _ => None,
+                });
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize) shim: expected `struct Name`");
+    let body = body.expect("derive(Serialize) shim: expected named fields");
+
+    let mut code = format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize(&self, __s: &mut ::serde::Serializer) {{\n        let mut __st = __s.begin_struct();\n"
+    );
+    for field in parse_field_names(body.stream()) {
+        code.push_str(&format!(
+            "        __st.field(\"{field}\", &self.{field});\n"
+        ));
+    }
+    code.push_str("        __st.end();\n    }\n}\n");
+    code.parse()
+        .expect("derive(Serialize) shim: generated code failed to parse")
+}
+
+/// Extracts field names from the token stream of a braced field list,
+/// skipping attributes (incl. doc comments), visibility, and types
+/// (tracking `<`/`>` depth so commas inside generics don't split fields).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip `#[...]` attributes.
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        // Skip `pub` / `pub(...)`.
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(
+                toks.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                toks.next();
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            Some(other) => {
+                panic!("derive(Serialize) shim: unexpected token `{other}` in field list")
+            }
+        }
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in toks.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}

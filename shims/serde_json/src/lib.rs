@@ -1,0 +1,40 @@
+//! Offline shim for the subset of
+//! [serde_json](https://crates.io/crates/serde_json) this workspace uses:
+//! [`to_string_pretty`]. Rides on the `serde` shim's JSON-direct
+//! [`serde::Serializer`]. See `shims/README.md`.
+
+/// Serialization error. The shim's serializer is infallible, so this is
+/// never produced; it exists so call sites can keep serde_json's `Result`
+/// signature.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error (unreachable in shim)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let mut s = serde::Serializer::new();
+    value.serialize(&mut s);
+    Ok(s.into_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_prints_nested_values() {
+        let v = vec![vec!["a".to_string()], vec![]];
+        assert_eq!(
+            super::to_string_pretty(&v).unwrap(),
+            "[\n  [\n    \"a\"\n  ],\n  []\n]"
+        );
+    }
+}
