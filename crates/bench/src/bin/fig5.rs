@@ -10,8 +10,8 @@
 //!     [--threads 1,2,4,8,12,16,20,24] [--json PATH] [--print-sizes]
 //! ```
 
-use ccl_bench::{BinArgs, FIG5_THREADS};
-use ccl_core::par::{paremsp_with, ParemspConfig};
+use ccl_bench::{paremsp_phase_ms_best_of, BinArgs, FIG5_THREADS};
+use ccl_core::par::ParemspConfig;
 use ccl_datasets::report::{ascii_chart, write_json, Table};
 use ccl_datasets::speedup::SpeedupSeries;
 use ccl_datasets::suite::{nlcd, NLCD_SIZES_MB};
@@ -21,6 +21,7 @@ const USAGE: &str = "fig5: reproduce Figure 5 (NLCD speedups) and Table III (siz
   --scale F        NLCD size factor vs Table III (default 0.05)
   --reps N         repetitions per timing cell (default 3)
   --threads CSV    thread counts (default 1,2,4,8,12,16,20,24)
+  --merger KIND    boundary merger: locked (default) or cas
   --json PATH      write machine-readable results
   --print-sizes    print Table III only and exit";
 
@@ -63,21 +64,9 @@ fn main() {
         eprintln!("measuring {} ({:.1} MB)…", img.name, img.size_mb());
         // phase-timed best-of-reps at each thread count
         let time_at = |t: usize| {
-            let cfg = ParemspConfig::with_threads(t);
-            let mut best: Option<(f64, f64, f64)> = None;
-            for _ in 0..args.reps.max(1) {
-                let (_, ph) = paremsp_with(&img.image, &cfg);
-                let cand = (
-                    ph.scan.as_secs_f64() * 1e3,
-                    ph.local_plus_merge().as_secs_f64() * 1e3,
-                    ph.total().as_secs_f64() * 1e3,
-                );
-                best = Some(match best {
-                    None => cand,
-                    Some(b) => (b.0.min(cand.0), b.1.min(cand.1), b.2.min(cand.2)),
-                });
-            }
-            best.unwrap()
+            let cfg = ParemspConfig::with_threads(t).with_merger(args.merger.unwrap_or_default());
+            let best = paremsp_phase_ms_best_of(&img.image, &cfg, args.reps);
+            (best.scan, best.local_plus_merge, best.total)
         };
         let base = time_at(1);
         let mut pts_local = Vec::new();

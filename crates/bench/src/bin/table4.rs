@@ -7,7 +7,7 @@
 //! ```
 
 use ccl_bench::{BinArgs, TABLE4_THREADS};
-use ccl_core::par::paremsp;
+use ccl_core::par::{paremsp_with, ParemspConfig};
 use ccl_datasets::harness::time_best_of;
 use ccl_datasets::report::{write_json, Table};
 use ccl_datasets::stats::Summary;
@@ -18,6 +18,7 @@ const USAGE: &str = "table4: reproduce Table IV (PAREMSP times per thread count)
   --scale F        NLCD size factor vs Table III (default 0.05)
   --reps N         repetitions per timing cell (default 3)
   --threads CSV    thread counts (default 2,6,16,24)
+  --merger KIND    boundary merger: locked (default) or cas
   --json PATH      write machine-readable results";
 
 #[derive(Serialize)]
@@ -55,7 +56,9 @@ fn main() {
         let mut per_thread: Vec<Vec<f64>> = vec![Vec::new(); threads.len()];
         for img in &family.images {
             for (ti, &t) in threads.iter().enumerate() {
-                let ms = time_best_of(args.reps, || paremsp(&img.image, t));
+                let cfg =
+                    ParemspConfig::with_threads(t).with_merger(args.merger.unwrap_or_default());
+                let ms = time_best_of(args.reps, || paremsp_with(&img.image, &cfg));
                 per_thread[ti].push(ms);
             }
         }

@@ -6,11 +6,14 @@
 //! * **Table binaries** (`src/bin/`): print paper-formatted tables and
 //!   ASCII figures from full measurement sweeps —
 //!   `cargo run --release -p ccl-bench --bin table2` (and `table4`,
-//!   `fig4`, `fig5`, `repro_all`). See each binary's `--help`.
+//!   `fig4`, `fig5`, `stream_demo`, `repro_all`). See each binary's
+//!   `--help`. `repro_all` also leaves two trajectory snapshots under
+//!   `results/` (`BENCH_paremsp.json`, `BENCH_stream.json`) so perf is
+//!   tracked commit to commit.
 //! * **Criterion benches** (`benches/`): statistical micro-benchmarks per
-//!   experiment plus the three design-choice ablations of DESIGN.md
-//!   (union-find variant, scan strategy, merger implementation) —
-//!   `cargo bench -p ccl-bench`.
+//!   experiment, the three design-choice ablations of DESIGN.md
+//!   (union-find variant, scan strategy, merger implementation), and the
+//!   `ccl-stream` scaling bench — `cargo bench -p ccl-bench`.
 //!
 //! This library crate holds the shared experiment configuration.
 
@@ -31,9 +34,59 @@ pub const FIG5_THREADS: [usize; 8] = [1, 2, 4, 8, 12, 16, 20, 24];
 /// while regenerating in seconds. Use `--scale 1.0` for full fidelity.
 pub const DEFAULT_NLCD_SCALE: f64 = 0.05;
 
+/// Best-of-`reps` PAREMSP phase timings in milliseconds: every metric is
+/// the minimum across repetitions, taken independently (the same
+/// semantics fig5 has always used for its scan / local+merge / total
+/// series). Shared by `fig5` and `repro_all`'s `BENCH_paremsp.json`
+/// snapshot so the phase-timing logic exists exactly once.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct PhaseMsBest {
+    /// Phase 1 (per-chunk scans), the paper's "local" time.
+    pub scan: f64,
+    /// Phase 2 (boundary merge).
+    pub merge: f64,
+    /// Phase 3 (FLATTEN).
+    pub flatten: f64,
+    /// Phase 4 (relabel).
+    pub relabel: f64,
+    /// Scan + merge — Figure 5b's quantity.
+    pub local_plus_merge: f64,
+    /// All four phases.
+    pub total: f64,
+}
+
+/// Runs PAREMSP `reps` times (at least once) and returns the per-metric
+/// best-of phase timings.
+pub fn paremsp_phase_ms_best_of(
+    image: &ccl_image::BinaryImage,
+    cfg: &ccl_core::par::ParemspConfig,
+    reps: usize,
+) -> PhaseMsBest {
+    let mut best = PhaseMsBest {
+        scan: f64::INFINITY,
+        merge: f64::INFINITY,
+        flatten: f64::INFINITY,
+        relabel: f64::INFINITY,
+        local_plus_merge: f64::INFINITY,
+        total: f64::INFINITY,
+    };
+    for _ in 0..reps.max(1) {
+        let (_, ph) = ccl_core::par::paremsp_with(image, cfg);
+        best.scan = best.scan.min(ph.scan.as_secs_f64() * 1e3);
+        best.merge = best.merge.min(ph.merge.as_secs_f64() * 1e3);
+        best.flatten = best.flatten.min(ph.flatten.as_secs_f64() * 1e3);
+        best.relabel = best.relabel.min(ph.relabel.as_secs_f64() * 1e3);
+        best.local_plus_merge = best
+            .local_plus_merge
+            .min(ph.local_plus_merge().as_secs_f64() * 1e3);
+        best.total = best.total.min(ph.total().as_secs_f64() * 1e3);
+    }
+    best
+}
+
 /// Tiny CLI-argument helper shared by the table binaries: supports
 /// `--scale <f64>`, `--reps <usize>`, `--threads <csv>`, `--json <path>`,
-/// `--print-sizes` and `--help`.
+/// `--merger <locked|cas>`, `--print-sizes` and `--help`.
 #[derive(Debug, Clone)]
 pub struct BinArgs {
     /// NLCD scale factor (fraction of the Table III sizes).
@@ -44,6 +97,9 @@ pub struct BinArgs {
     pub json: Option<String>,
     /// Optional thread-count override.
     pub threads: Option<Vec<usize>>,
+    /// Optional boundary-merger override (parsed via
+    /// [`MergerKind::from_str`](std::str::FromStr)).
+    pub merger: Option<ccl_core::par::MergerKind>,
     /// `--print-sizes` flag (fig5: print Table III).
     pub print_sizes: bool,
 }
@@ -55,6 +111,7 @@ impl Default for BinArgs {
             reps: 3,
             json: None,
             threads: None,
+            merger: None,
             print_sizes: false,
         }
     }
@@ -101,6 +158,12 @@ impl BinArgs {
                         }
                     }
                 }
+                "--merger" => {
+                    out.merger = Some(value("--merger").parse().unwrap_or_else(|e| {
+                        eprintln!("invalid --merger: {e}\n{usage}");
+                        std::process::exit(2);
+                    }))
+                }
                 "--print-sizes" => out.print_sizes = true,
                 "--help" | "-h" => {
                     println!("{usage}");
@@ -126,6 +189,7 @@ mod tests {
         assert_eq!(a.scale, DEFAULT_NLCD_SCALE);
         assert!(a.reps >= 1);
         assert!(a.json.is_none());
+        assert!(a.merger.is_none());
         assert!(!a.print_sizes);
     }
 

@@ -27,21 +27,21 @@ pub enum Numbering {
 /// Every labeling algorithm in the crate, as a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
-    /// Decision-tree scan + link-by-rank/path-compression (ref [36]).
+    /// Decision-tree scan + link-by-rank/path-compression (ref \[36\]).
     Ccllrpc,
     /// Decision-tree scan + RemSP (this paper).
     Cclremsp,
-    /// Two-line scan + He's equivalence table (ref [37]).
+    /// Two-line scan + He's equivalence table (ref \[37\]).
     Arun,
     /// Two-line scan + RemSP (this paper — best sequential).
     Aremsp,
-    /// Run-based two-scan (ref [43]).
+    /// Run-based two-scan (ref \[43\]).
     RunBased,
-    /// Repeated-pass baseline (refs [11], [12]).
+    /// Repeated-pass baseline (refs \[11\], \[12\]).
     Multipass,
     /// BFS flood fill (oracle).
     FloodFill,
-    /// Contour tracing (Chang–Chen–Lu, ref [4]).
+    /// Contour tracing (Chang–Chen–Lu, ref \[4\]).
     ContourTrace,
     /// PAREMSP with the given thread count (this paper — parallel).
     Paremsp(usize),

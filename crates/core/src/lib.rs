@@ -19,13 +19,13 @@
 //! The scan phases are generic over the structure (see [`scan`]), so every
 //! combination can be benchmarked (ablation A2 in DESIGN.md). Reference
 //! labelers — BFS flood fill ([`seq::flood_fill_label`]), the run-based
-//! two-scan of He et al. ([`seq::run_based`]) and the repeated-pass
-//! baseline ([`seq::multipass`]) — provide oracles and additional
+//! two-scan of He et al. ([`seq::run_based()`]) and the repeated-pass
+//! baseline ([`seq::multipass()`]) — provide oracles and additional
 //! baselines.
 //!
 //! ## PAREMSP (§IV)
 //!
-//! [`par::paremsp`] parallelizes AREMSP: the image rows are split into
+//! [`par::paremsp()`] parallelizes AREMSP: the image rows are split into
 //! even-height chunks, each thread scans its chunk with a disjoint
 //! provisional-label range (Alg. 7), chunk-boundary rows are merged with
 //! the parallel Rem's MERGER (Alg. 8, or its CAS variant), and a sparse

@@ -21,7 +21,7 @@ use crate::label::LabelImage;
 
 /// Strip-parallel multipass labeling (8-connectivity) on `threads`
 /// threads. Produces canonical raster numbering (like
-/// [`crate::seq::multipass`]).
+/// [`crate::seq::multipass()`]).
 pub fn multipass_parallel(image: &BinaryImage, threads: usize) -> LabelImage {
     let (w, h) = (image.width(), image.height());
     if w == 0 || h == 0 {

@@ -29,9 +29,10 @@ use std::time::{Duration, Instant};
 
 use ccl_image::BinaryImage;
 use ccl_unionfind::par::{CasMerger, ConcurrentMerger, ConcurrentParents, LockedMerger};
+use ccl_unionfind::EquivalenceStore;
 
 use crate::label::LabelImage;
-use crate::scan::scan_two_line;
+use crate::scan::{merge_seam, scan_two_line};
 
 use super::partition::{partition_rows, total_label_slots};
 
@@ -43,6 +44,33 @@ pub enum MergerKind {
     Locked,
     /// Lock-free variant: every write validated with `compare_exchange`.
     Cas,
+}
+
+impl MergerKind {
+    /// All variants, in declaration order (for sweeps and CLI help).
+    pub const ALL: [MergerKind; 2] = [MergerKind::Locked, MergerKind::Cas];
+}
+
+impl std::fmt::Display for MergerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MergerKind::Locked => "locked",
+            MergerKind::Cas => "cas",
+        })
+    }
+}
+
+impl std::str::FromStr for MergerKind {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) names (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "locked" | "lock" => Ok(MergerKind::Locked),
+            "cas" => Ok(MergerKind::Cas),
+            other => Err(format!("unknown merger {other:?} (expected locked|cas)")),
+        }
+    }
 }
 
 /// Configuration for [`paremsp_with`].
@@ -70,6 +98,12 @@ impl ParemspConfig {
             lock_stripes: None,
             parallel_flatten: false,
         }
+    }
+
+    /// Builder: replaces the boundary-merge implementation.
+    pub fn with_merger(mut self, merger: MergerKind) -> Self {
+        self.merger = merger;
+        self
     }
 }
 
@@ -230,9 +264,42 @@ fn run<M: ConcurrentMerger>(
     (LabelImage::from_raw(w, h, labels, num_components), timings)
 }
 
+/// Adapts a [`ConcurrentMerger`] over a [`ConcurrentParents`] array to the
+/// sequential [`EquivalenceStore`] interface, so the shared seam logic
+/// ([`merge_seam`]) drives both PAREMSP's parallel boundary phase and any
+/// sequential consumer (the `ccl-stream` strip labeler).
+///
+/// Only `merge` is supported; labels must already be registered by the
+/// scan phase.
+pub struct MergerStore<'a, M: ConcurrentMerger> {
+    parents: &'a ConcurrentParents,
+    merger: &'a M,
+}
+
+impl<'a, M: ConcurrentMerger> MergerStore<'a, M> {
+    /// Wraps the shared parent array and a merger implementation.
+    pub fn new(parents: &'a ConcurrentParents, merger: &'a M) -> Self {
+        MergerStore { parents, merger }
+    }
+}
+
+impl<M: ConcurrentMerger> EquivalenceStore for MergerStore<'_, M> {
+    fn new_label(&mut self, _label: u32) {
+        unreachable!("MergerStore only merges; labels are registered by the scan phase");
+    }
+
+    #[inline]
+    fn merge(&mut self, x: u32, y: u32) -> u32 {
+        self.merger.merge(self.parents, x, y);
+        // A common representative (not necessarily the root): x's set now
+        // contains y. Callers of the merge phase ignore the return value.
+        x
+    }
+}
+
 /// Merges the labels of boundary row `r` with row `r-1` (the last row of
-/// the previous chunk): `b` above subsumes `a` and `c`; otherwise both
-/// diagonals are merged individually — Algorithm 7 lines 13–20.
+/// the previous chunk) — Algorithm 7 lines 13–20, shared with the
+/// sequential consumers through [`merge_seam`].
 fn merge_boundary_row<M: ConcurrentMerger>(
     labels: &[u32],
     w: usize,
@@ -243,29 +310,8 @@ fn merge_boundary_row<M: ConcurrentMerger>(
     debug_assert!(r > 0);
     let cur = r * w;
     let up = (r - 1) * w;
-    for c in 0..w {
-        let le = labels[cur + c];
-        if le == 0 {
-            continue;
-        }
-        let lb = labels[up + c];
-        if lb != 0 {
-            merger.merge(parents, le, lb);
-        } else {
-            if c > 0 {
-                let la = labels[up + c - 1];
-                if la != 0 {
-                    merger.merge(parents, le, la);
-                }
-            }
-            if c + 1 < w {
-                let lc = labels[up + c + 1];
-                if lc != 0 {
-                    merger.merge(parents, le, lc);
-                }
-            }
-        }
-    }
+    let mut store = MergerStore::new(parents, merger);
+    merge_seam(&labels[up..up + w], &labels[cur..cur + w], &mut store);
 }
 
 #[cfg(test)]
@@ -399,6 +445,26 @@ mod tests {
         let (_, t) = paremsp_with(&img, &ParemspConfig::with_threads(4));
         assert!(t.total() > Duration::ZERO);
         assert!(t.scan > Duration::ZERO);
+    }
+
+    #[test]
+    fn merger_kind_display_from_str_round_trip() {
+        for kind in MergerKind::ALL {
+            let parsed: MergerKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("LOCKED".parse::<MergerKind>().unwrap(), MergerKind::Locked);
+        assert_eq!("Cas".parse::<MergerKind>().unwrap(), MergerKind::Cas);
+        assert!("spinlock".parse::<MergerKind>().is_err());
+    }
+
+    #[test]
+    fn with_merger_builder_sets_only_merger() {
+        let cfg = ParemspConfig::with_threads(3).with_merger(MergerKind::Cas);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.merger, MergerKind::Cas);
+        assert!(cfg.lock_stripes.is_none());
+        assert!(!cfg.parallel_flatten);
     }
 
     #[test]

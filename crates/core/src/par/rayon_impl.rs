@@ -1,7 +1,7 @@
 //! Rayon back end for PAREMSP.
 //!
 //! Demonstrates the paper's portability claim on a second scheduler: the
-//! same four phases as [`super::paremsp`], expressed as rayon parallel
+//! same four phases as [`super::paremsp()`], expressed as rayon parallel
 //! iterators over the same chunk structure. Chunk count follows the
 //! current rayon pool (global by default; wrap in a custom
 //! `ThreadPool::install` to pin it).

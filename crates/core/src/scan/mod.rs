@@ -33,9 +33,11 @@
 //! PAREMSP uses to give each thread a disjoint label range.
 
 pub mod decision_tree;
+pub mod seam;
 pub mod two_line;
 
 pub use decision_tree::scan_decision_tree;
+pub use seam::merge_seam;
 pub use two_line::scan_two_line;
 
 use ccl_unionfind::EquivalenceStore;

@@ -1,0 +1,117 @@
+//! Seam merging — reconnecting two row-adjacent label buffers.
+//!
+//! This is the paper's Algorithm 7 lines 13–20, factored out of PAREMSP so
+//! that any consumer holding the labels of two vertically adjacent rows can
+//! restore 8-connectivity across them: the parallel chunk-boundary MERGER
+//! phase (every boundary row in parallel) and the `ccl-stream` strip
+//! labeler (one seam per band, applied sequentially as bands arrive).
+//!
+//! The rows may come from *different* label buffers — all that matters is
+//! that both rows' labels live in one equivalence store.
+
+use ccl_unionfind::EquivalenceStore;
+
+/// Merges the labels of a row (`cur`) with the row directly above it
+/// (`up`) under 8-connectivity: for each foreground pixel of `cur`, the
+/// vertical neighbour `b` subsumes both diagonals when present; otherwise
+/// the two diagonals are merged individually (Algorithm 7 lines 13–20).
+///
+/// Background pixels hold label 0 and are skipped. The slices may be
+/// drawn from different label buffers as long as both label spaces are
+/// registered in `store`.
+///
+/// # Panics
+/// Panics when the two rows differ in length.
+pub fn merge_seam<S: EquivalenceStore>(up: &[u32], cur: &[u32], store: &mut S) {
+    assert_eq!(up.len(), cur.len(), "seam rows differ in width");
+    let w = cur.len();
+    for c in 0..w {
+        let le = cur[c];
+        if le == 0 {
+            continue;
+        }
+        let lb = up[c];
+        if lb != 0 {
+            store.merge(le, lb);
+        } else {
+            if c > 0 {
+                let la = up[c - 1];
+                if la != 0 {
+                    store.merge(le, la);
+                }
+            }
+            if c + 1 < w {
+                let lc = up[c + 1];
+                if lc != 0 {
+                    store.merge(le, lc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccl_unionfind::{RemSP, UnionFind};
+
+    fn store_with(n: u32) -> RemSP {
+        let mut s = RemSP::new();
+        for l in 0..=n {
+            s.new_label(l);
+        }
+        s
+    }
+
+    #[test]
+    fn vertical_neighbour_merges() {
+        let mut s = store_with(2);
+        merge_seam(&[1, 0, 0], &[2, 0, 0], &mut s);
+        assert!(s.same(1, 2));
+    }
+
+    #[test]
+    fn b_subsumes_diagonals() {
+        // up = a b c all present: only the vertical merge is issued, the
+        // diagonals being already equivalent to b within the up buffer's
+        // own scan. Here they are distinct stores' labels, so only (2, b)
+        // is merged.
+        let mut s = store_with(4);
+        merge_seam(&[1, 2, 3], &[0, 4, 0], &mut s);
+        assert!(s.same(4, 2));
+        assert!(!s.same(4, 1));
+        assert!(!s.same(4, 3));
+    }
+
+    #[test]
+    fn diagonals_merge_when_b_absent() {
+        let mut s = store_with(3);
+        merge_seam(&[1, 0, 2], &[0, 3, 0], &mut s);
+        assert!(s.same(3, 1));
+        assert!(s.same(3, 2));
+    }
+
+    #[test]
+    fn edges_do_not_probe_out_of_bounds() {
+        let mut s = store_with(2);
+        merge_seam(&[0, 1], &[2, 0], &mut s);
+        assert!(s.same(1, 2));
+        let mut s = store_with(2);
+        merge_seam(&[1, 0], &[0, 2], &mut s);
+        assert!(s.same(1, 2));
+    }
+
+    #[test]
+    fn background_rows_are_noop() {
+        let mut s = store_with(2);
+        merge_seam(&[0, 0, 0], &[1, 0, 2], &mut s);
+        assert!(!s.same(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "seam rows differ")]
+    fn mismatched_widths_panic() {
+        let mut s = store_with(1);
+        merge_seam(&[0, 0], &[0], &mut s);
+    }
+}

@@ -1,5 +1,5 @@
 //! Contour-tracing labeling — Chang, Chen & Lu's linear-time technique
-//! (the paper's ref [4]), an additional baseline from a different
+//! (the paper's ref \[4\]), an additional baseline from a different
 //! algorithm family: instead of recording label equivalences, it traces
 //! each component's external and internal contours when their first
 //! pixels are met in raster order, then fills interior pixels from their

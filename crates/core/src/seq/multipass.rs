@@ -1,5 +1,5 @@
 //! Repeated-pass labeling — the classic multi-pass baseline (the paper's
-//! refs [11], [12]: Haralick; Hashizume et al.).
+//! refs \[11\], \[12\]: Haralick; Hashizume et al.).
 //!
 //! Alternating forward and backward raster passes propagate the minimum
 //! label across each component until a fixed point. No equivalence

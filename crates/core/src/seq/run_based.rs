@@ -1,5 +1,5 @@
 //! Run-based two-scan labeling — He, Chao & Suzuki's RUN algorithm (the
-//! paper's ref [43]), an additional baseline mentioned in §II.
+//! paper's ref \[43\]), an additional baseline mentioned in §II.
 //!
 //! The first scan assigns one provisional label per *run* (maximal
 //! horizontal segment of foreground pixels) and merges a run's label with

@@ -57,7 +57,7 @@ pub fn two_pass_with<U: UnionFind>(image: &BinaryImage, scan: ScanStrategy) -> L
     LabelImage::from_raw(w, h, labels, num_components)
 }
 
-/// CCLLRPC (Wu–Otoo–Suzuki, the paper's ref [36]): decision-tree scan +
+/// CCLLRPC (Wu–Otoo–Suzuki, the paper's ref \[36\]): decision-tree scan +
 /// link-by-rank with path compression.
 pub fn ccllrpc(image: &BinaryImage) -> LabelImage {
     // RankUF's default compression is Full — exactly LRPC.
@@ -70,7 +70,7 @@ pub fn cclremsp(image: &BinaryImage) -> LabelImage {
     two_pass_with::<RemSP>(image, ScanStrategy::DecisionTree)
 }
 
-/// ARUN (He–Chao–Suzuki, the paper's ref [37]): two-line scan + the
+/// ARUN (He–Chao–Suzuki, the paper's ref \[37\]): two-line scan + the
 /// `rtable`/`next`/`tail` equivalence structure.
 pub fn arun(image: &BinaryImage) -> LabelImage {
     two_pass_with::<HeEquivalence>(image, ScanStrategy::TwoLine)

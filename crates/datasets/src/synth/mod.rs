@@ -11,6 +11,7 @@ pub mod blobs;
 pub mod landcover;
 pub mod noise;
 pub mod shapes;
+pub mod stream;
 pub mod texture;
 
 /// A deterministic 64-bit mix used by the hash-based generators

@@ -55,7 +55,8 @@ pub fn shape_scene(width: usize, height: usize, n_shapes: usize, seed: u64) -> B
                     rng.random_range(0..width) as f64,
                 );
                 let angle = rng.random::<f64>() * std::f64::consts::TAU;
-                let len = rng.random_range(4..(width + height) / 4);
+                // lower bound keeps the range non-empty for tiny scenes
+                let len = rng.random_range(4..((width + height) / 4).max(5));
                 let (dr, dc) = (angle.sin(), angle.cos());
                 for _ in 0..len {
                     if r < 0.0 || c < 0.0 || r >= height as f64 || c >= width as f64 {

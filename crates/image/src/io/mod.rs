@@ -6,7 +6,9 @@
 //!
 //! * PBM — binary images, ASCII (`P1`) and packed binary (`P4`),
 //! * PGM — grayscale, ASCII (`P2`) and binary (`P5`),
-//! * PPM — RGB, ASCII (`P3`) and binary (`P6`).
+//! * PPM — RGB, ASCII (`P3`) and binary (`P6`),
+//! * [`stream`] — incremental PBM/PGM decoding in row bands, for the
+//!   out-of-core pipeline (`ccl-stream`).
 //!
 //! PBM inverts polarity relative to this crate: in PBM, `1` is **black**.
 //! We map PBM black ↔ foreground, which matches the usual "objects are
@@ -18,6 +20,7 @@
 pub mod pbm;
 pub mod pgm;
 pub mod ppm;
+pub mod stream;
 
 use crate::error::ImageError;
 

@@ -1,7 +1,7 @@
 //! Row run-length extraction.
 //!
 //! The RUN/ARUN family of algorithms (He, Chao & Suzuki — the paper's
-//! refs [37] and [43]) views each image row as a sequence of maximal
+//! refs \[37\] and \[43\]) views each image row as a sequence of maximal
 //! horizontal *runs* of foreground pixels. This module extracts that
 //! representation; the run-based labeling baseline in `ccl-core` consumes
 //! it directly.

@@ -1,0 +1,297 @@
+//! On-the-fly component analysis — records, accumulators and sinks.
+//!
+//! Following Lemaitre & Lacassagne's run-based analysis (PAPERS.md), the
+//! strip labeler never materializes a label image: every component's
+//! features (area, bounding box, centroid, raster-first anchor) are
+//! accumulated while its pixels stream past and emitted exactly once,
+//! when the component *closes* (no pixel on the stream's frontier row).
+//!
+//! Consumers implement [`ComponentSink`] (and optionally [`LabelSink`]
+//! for labeled strip output); `Vec<ComponentRecord>` works out of the box
+//! for collect-everything callers.
+
+use ccl_core::label::LabelImage;
+
+/// Identifier of a streamed component: assigned when the component first
+/// appears (raster order of its first pixel), never reused. When two open
+/// components turn out to be connected, the smaller (older) id survives.
+pub type ComponentId = u64;
+
+/// The features of one finalized component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentRecord {
+    /// Stream-unique id (see [`ComponentId`]).
+    pub id: ComponentId,
+    /// Pixel count.
+    pub area: u64,
+    /// Inclusive bounding box `(min_row, min_col, max_row, max_col)` in
+    /// global image coordinates.
+    pub bbox: (usize, usize, usize, usize),
+    /// Centroid `(mean_row, mean_col)` in global image coordinates.
+    pub centroid: (f64, f64),
+    /// Raster-first pixel `(row, col)` — a stable key for matching
+    /// components across labelers (no two components share an anchor).
+    pub anchor: (usize, usize),
+}
+
+/// Running accumulator behind a [`ComponentRecord`]. `area == 0` marks an
+/// unused slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Accum {
+    pub area: u64,
+    pub min_r: usize,
+    pub min_c: usize,
+    pub max_r: usize,
+    pub max_c: usize,
+    pub sum_r: f64,
+    pub sum_c: f64,
+    pub anchor: (usize, usize),
+    /// 0 until the component is assigned its [`ComponentId`].
+    pub gid: u64,
+}
+
+impl Accum {
+    pub const EMPTY: Accum = Accum {
+        area: 0,
+        min_r: 0,
+        min_c: 0,
+        max_r: 0,
+        max_c: 0,
+        sum_r: 0.0,
+        sum_c: 0.0,
+        anchor: (0, 0),
+        gid: 0,
+    };
+
+    /// Accumulator holding one pixel.
+    #[inline]
+    pub fn first(r: usize, c: usize) -> Accum {
+        Accum {
+            area: 1,
+            min_r: r,
+            min_c: c,
+            max_r: r,
+            max_c: c,
+            sum_r: r as f64,
+            sum_c: c as f64,
+            anchor: (r, c),
+            gid: 0,
+        }
+    }
+
+    /// Adds one pixel. Pixels arrive in raster order, so the anchor never
+    /// moves.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize) {
+        self.area += 1;
+        self.min_r = self.min_r.min(r);
+        self.min_c = self.min_c.min(c);
+        self.max_r = self.max_r.max(r);
+        self.max_c = self.max_c.max(c);
+        self.sum_r += r as f64;
+        self.sum_c += c as f64;
+    }
+
+    /// Folds another accumulator in (two open components discovered to be
+    /// one). Keeps the raster-smaller anchor; the caller resolves the
+    /// surviving `gid`.
+    pub fn merge_with(&mut self, other: &Accum) {
+        self.area += other.area;
+        self.min_r = self.min_r.min(other.min_r);
+        self.min_c = self.min_c.min(other.min_c);
+        self.max_r = self.max_r.max(other.max_r);
+        self.max_c = self.max_c.max(other.max_c);
+        self.sum_r += other.sum_r;
+        self.sum_c += other.sum_c;
+        self.anchor = self.anchor.min(other.anchor);
+    }
+
+    /// Finishes the accumulator into an emitted record.
+    pub fn into_record(self) -> ComponentRecord {
+        debug_assert!(self.area > 0 && self.gid > 0);
+        ComponentRecord {
+            id: self.gid,
+            area: self.area,
+            bbox: (self.min_r, self.min_c, self.max_r, self.max_c),
+            centroid: (self.sum_r / self.area as f64, self.sum_c / self.area as f64),
+            anchor: self.anchor,
+        }
+    }
+}
+
+/// Receives every component exactly once, when it closes. Emission order
+/// is deterministic: ascending id within each band, bands in stream order.
+pub trait ComponentSink {
+    /// Called once per finalized component.
+    fn component(&mut self, record: &ComponentRecord);
+}
+
+/// Collect-everything sink.
+impl ComponentSink for Vec<ComponentRecord> {
+    fn component(&mut self, record: &ComponentRecord) {
+        self.push(record.clone());
+    }
+}
+
+/// Discards records, keeping only a count — for benchmarks measuring pure
+/// labeling throughput.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountComponents {
+    /// Number of components seen so far.
+    pub count: u64,
+}
+
+impl ComponentSink for CountComponents {
+    fn component(&mut self, _record: &ComponentRecord) {
+        self.count += 1;
+    }
+}
+
+/// Receives labeled strips for callers who *do* want label output.
+///
+/// Strip pixels hold [`ComponentId`]s (0 = background) as known at
+/// emission time. A component open across strips may later merge with
+/// another; [`LabelSink::merge`] reports every such event (before the
+/// band's strip), so a consumer that union-finds the merge pairs obtains
+/// the exact final partition. Components that close within the emitted
+/// strip already carry their final id.
+pub trait LabelSink {
+    /// Two previously emitted ids turned out to be one component; `kept`
+    /// (the smaller) survives.
+    fn merge(&mut self, kept: ComponentId, absorbed: ComponentId);
+
+    /// One band's labels, row-major, `width` columns, starting at global
+    /// row `first_row`.
+    fn strip(&mut self, first_row: usize, width: usize, gids: &[ComponentId]);
+}
+
+/// Reference [`LabelSink`]: buffers every strip and merge event, then
+/// reconciles them into a [`LabelImage`] (for tests, examples and callers
+/// with memory to spare — it holds the whole image, unlike the labeler).
+#[derive(Debug, Default)]
+pub struct CollectLabelImage {
+    width: usize,
+    gids: Vec<ComponentId>,
+    merges: Vec<(ComponentId, ComponentId)>,
+}
+
+impl LabelSink for CollectLabelImage {
+    fn merge(&mut self, kept: ComponentId, absorbed: ComponentId) {
+        self.merges.push((kept, absorbed));
+    }
+
+    fn strip(&mut self, first_row: usize, width: usize, gids: &[ComponentId]) {
+        debug_assert_eq!(first_row * width, self.gids.len(), "strips in order");
+        self.width = width;
+        self.gids.extend_from_slice(gids);
+    }
+}
+
+impl CollectLabelImage {
+    /// Applies the recorded merges and renumbers components canonically
+    /// (consecutive `1..=k` by raster order of first pixel), yielding a
+    /// label image comparable to the whole-image labelers via
+    /// [`LabelImage::canonicalized`].
+    pub fn into_label_image(self) -> LabelImage {
+        use std::collections::HashMap;
+        // Union-find over the sparse id space; merges always keep the
+        // smaller id, so pointing absorbed -> kept terminates.
+        let mut parent: HashMap<ComponentId, ComponentId> = HashMap::new();
+        for &(kept, absorbed) in &self.merges {
+            parent.insert(absorbed, kept);
+        }
+        let resolve = |mut id: ComponentId, parent: &HashMap<ComponentId, ComponentId>| {
+            while let Some(&p) = parent.get(&id) {
+                id = p;
+            }
+            id
+        };
+        let mut remap: HashMap<ComponentId, u32> = HashMap::new();
+        let mut next = 0u32;
+        let labels: Vec<u32> = self
+            .gids
+            .iter()
+            .map(|&g| {
+                if g == 0 {
+                    0
+                } else {
+                    let root = resolve(g, &parent);
+                    *remap.entry(root).or_insert_with(|| {
+                        next += 1;
+                        next
+                    })
+                }
+            })
+            .collect();
+        let height = labels.len().checked_div(self.width).unwrap_or(0);
+        LabelImage::from_raw(self.width, height, labels, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_tracks_bbox_centroid_anchor() {
+        let mut a = Accum::first(2, 3);
+        a.add(2, 4);
+        a.add(3, 3);
+        assert_eq!(a.area, 3);
+        assert_eq!((a.min_r, a.min_c, a.max_r, a.max_c), (2, 3, 3, 4));
+        assert_eq!(a.anchor, (2, 3));
+        a.gid = 1;
+        let rec = a.into_record();
+        assert!((rec.centroid.0 - 7.0 / 3.0).abs() < 1e-12);
+        assert!((rec.centroid.1 - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_keeps_raster_smaller_anchor() {
+        let mut a = Accum::first(5, 1);
+        let b = Accum::first(2, 9);
+        a.merge_with(&b);
+        assert_eq!(a.anchor, (2, 9));
+        assert_eq!(a.area, 2);
+        assert_eq!((a.min_r, a.max_r), (2, 5));
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut sink: Vec<ComponentRecord> = Vec::new();
+        let mut a = Accum::first(0, 0);
+        a.gid = 7;
+        sink.component(&a.into_record());
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].id, 7);
+    }
+
+    #[test]
+    fn collect_label_image_applies_merges() {
+        let mut sink = CollectLabelImage::default();
+        sink.strip(0, 3, &[1, 0, 2]);
+        sink.merge(1, 2);
+        sink.strip(1, 3, &[1, 1, 2]);
+        let li = sink.into_label_image();
+        assert_eq!(li.num_components(), 1);
+        assert_eq!(li.as_slice(), &[1, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn collect_label_image_chained_merges() {
+        let mut sink = CollectLabelImage::default();
+        sink.strip(0, 5, &[1, 0, 2, 0, 3]);
+        sink.merge(2, 3);
+        sink.merge(1, 2);
+        sink.strip(1, 5, &[0, 1, 0, 0, 0]);
+        let li = sink.into_label_image();
+        assert_eq!(li.num_components(), 1);
+    }
+
+    #[test]
+    fn empty_collect_label_image() {
+        let li = CollectLabelImage::default().into_label_image();
+        assert_eq!(li.num_components(), 0);
+        assert_eq!((li.width(), li.height()), (0, 0));
+    }
+}

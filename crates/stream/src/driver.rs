@@ -1,0 +1,102 @@
+//! Convenience drivers — pull a whole [`RowSource`] through a
+//! [`StripLabeler`].
+
+use ccl_core::label::LabelImage;
+
+use crate::analysis::{CollectLabelImage, ComponentRecord, ComponentSink, CountComponents};
+use crate::error::StreamError;
+use crate::labeler::{StreamStats, StripConfig, StripLabeler};
+use crate::source::RowSource;
+
+/// Streams `source` through a strip labeler in bands of `band_rows`,
+/// emitting every component through `sink`. Never holds more than one
+/// band (plus the carry row) of pixels.
+pub fn label_stream<S, C>(
+    source: &mut S,
+    band_rows: usize,
+    cfg: StripConfig,
+    sink: &mut C,
+) -> Result<StreamStats, StreamError>
+where
+    S: RowSource + ?Sized,
+    C: ComponentSink,
+{
+    let mut labeler = StripLabeler::with_config(source.width(), cfg);
+    while let Some(band) = source.next_band(band_rows)? {
+        labeler.push_band(&band, sink)?;
+    }
+    Ok(labeler.finish(sink))
+}
+
+/// [`label_stream`] collecting every [`ComponentRecord`] (emission order:
+/// closure order).
+pub fn analyze_stream<S>(
+    source: &mut S,
+    band_rows: usize,
+    cfg: StripConfig,
+) -> Result<(Vec<ComponentRecord>, StreamStats), StreamError>
+where
+    S: RowSource + ?Sized,
+{
+    let mut records = Vec::new();
+    let stats = label_stream(source, band_rows, cfg, &mut records)?;
+    Ok((records, stats))
+}
+
+/// Streams `source` and reconciles the labeled strips into a full
+/// [`LabelImage`] — for callers who *do* want label output and can afford
+/// it (the image is O(width × height); the labeling still runs in O(band)
+/// working memory on top).
+pub fn stream_to_label_image<S>(
+    source: &mut S,
+    band_rows: usize,
+    cfg: StripConfig,
+) -> Result<(LabelImage, StreamStats), StreamError>
+where
+    S: RowSource + ?Sized,
+{
+    let mut labeler = StripLabeler::with_config(source.width(), cfg);
+    let mut components = CountComponents::default();
+    let mut strips = CollectLabelImage::default();
+    while let Some(band) = source.next_band(band_rows)? {
+        labeler.push_band_with_labels(&band, &mut components, &mut strips)?;
+    }
+    let stats = labeler.finish(&mut components);
+    Ok((strips.into_label_image(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemorySource;
+    use ccl_image::BinaryImage;
+
+    #[test]
+    fn analyze_stream_counts_components() {
+        let img = BinaryImage::parse(
+            "##..##
+             ......
+             .####.",
+        );
+        let mut src = MemorySource::new(&img);
+        let (records, stats) = analyze_stream(&mut src, 2, StripConfig::default()).unwrap();
+        assert_eq!(stats.components, 3);
+        assert_eq!(records.len(), 3);
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.bands, 2);
+    }
+
+    #[test]
+    fn stream_to_label_image_matches_aremsp() {
+        let img = BinaryImage::parse(
+            "#.#
+             .#.
+             #.#",
+        );
+        let mut src = MemorySource::new(&img);
+        let (li, stats) = stream_to_label_image(&mut src, 1, StripConfig::default()).unwrap();
+        assert_eq!(stats.components, 1);
+        let reference = ccl_core::seq::aremsp(&img);
+        assert!(ccl_core::verify::labelings_equivalent(&li, &reference));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the streaming pipeline.
+
+use std::fmt;
+
+use ccl_image::ImageError;
+
+/// Errors produced while pulling or labeling row bands.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying source failed to decode (I/O or malformed stream).
+    Image(ImageError),
+    /// A band arrived with a width different from the labeler's.
+    WidthMismatch {
+        /// Width the labeler was constructed with.
+        expected: usize,
+        /// Width of the offending band.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Image(e) => write!(f, "source error: {e}"),
+            StreamError::WidthMismatch { expected, got } => {
+                write!(f, "band width {got} does not match stream width {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImageError> for StreamError {
+    fn from(e: ImageError) -> Self {
+        StreamError::Image(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = StreamError::WidthMismatch {
+            expected: 4,
+            got: 5,
+        };
+        assert!(e.to_string().contains("width 5"));
+        assert!(e.source().is_none());
+        let e: StreamError = ImageError::Parse("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,659 @@
+//! [`StripLabeler`] — the bounded-memory streaming two-pass engine.
+//!
+//! PAREMSP's structure (disjoint provisional-label ranges per row chunk,
+//! boundary rows merged afterwards) is exactly what out-of-core labeling
+//! needs: treat every arriving band as a chunk, merge its first row
+//! against the *carried* last row of the previous band, and throw the
+//! band away. The only state that crosses bands is
+//!
+//! * one boundary row of labels (the **carry row**),
+//! * one [`Accum`](crate::analysis) per component still *open* on that
+//!   row (area, bbox, centroid sums, anchor, id),
+//!
+//! so the resident footprint is O(band + open components), independent of
+//! image height. Label slots are recycled: after each band, the provisional
+//! label space is compacted to `1..=k` active ids (components with a pixel
+//! on the carry row) and everything else is retired — closed components
+//! are emitted through [`ComponentSink`] and their slots reused.
+//!
+//! Scanning within a band is the paper's two-line scan + RemSP
+//! ([`StripConfig::threads`]` == 1`) or full PAREMSP across threads
+//! within the resident band; both produce identical output — the
+//! band-end bookkeeping only ever sees set-minimum roots, which the two
+//! paths agree on.
+
+use ccl_core::par::MergerKind;
+use ccl_core::scan::{max_labels_two_line, merge_seam, scan_two_line};
+use ccl_image::BinaryImage;
+use ccl_unionfind::par::ConcurrentParents;
+use ccl_unionfind::{EquivalenceStore, RemSP, UnionFind};
+
+use crate::analysis::{Accum, ComponentSink, LabelSink};
+use crate::error::StreamError;
+use crate::parallel::scan_band_parallel;
+
+/// Configuration for [`StripLabeler`].
+#[derive(Debug, Clone)]
+pub struct StripConfig {
+    /// Worker threads for the in-band scan (1 = sequential AREMSP).
+    pub threads: usize,
+    /// Boundary-merge implementation for the parallel mode.
+    pub merger: MergerKind,
+    /// Lock stripes for [`MergerKind::Locked`]; `None` = default.
+    pub lock_stripes: Option<usize>,
+}
+
+impl Default for StripConfig {
+    fn default() -> Self {
+        StripConfig {
+            threads: 1,
+            merger: MergerKind::default(),
+            lock_stripes: None,
+        }
+    }
+}
+
+impl StripConfig {
+    /// Sequential in-band scanning (AREMSP per band).
+    pub fn sequential() -> Self {
+        StripConfig::default()
+    }
+
+    /// PAREMSP across `threads` workers within each band.
+    pub fn parallel(threads: usize) -> Self {
+        StripConfig {
+            threads,
+            ..StripConfig::default()
+        }
+    }
+
+    /// Builder: replaces the boundary-merge implementation.
+    pub fn with_merger(mut self, merger: MergerKind) -> Self {
+        self.merger = merger;
+        self
+    }
+}
+
+/// Summary returned by [`StripLabeler::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Stream width in pixels.
+    pub width: usize,
+    /// Total rows labeled.
+    pub rows: usize,
+    /// Number of bands pushed.
+    pub bands: usize,
+    /// Total components emitted.
+    pub components: u64,
+    /// Maximum pixel rows resident at any point: the tallest band plus
+    /// the one carried boundary row — the labeler's bounded-memory
+    /// guarantee (≤ 2 bands for any band height ≥ 1).
+    pub peak_resident_rows: usize,
+}
+
+/// Post-scan view of one band's equivalences: sequential RemSP or the
+/// parallel shared parent array. Both are Rem-family (parents ≤ children),
+/// so `find` returns the set's minimum label in either case — the property
+/// the band-end bookkeeping relies on for mode-independent output.
+enum BandUf {
+    Seq(RemSP),
+    Par(ConcurrentParents),
+}
+
+impl BandUf {
+    #[inline]
+    fn find(&mut self, x: u32) -> u32 {
+        match self {
+            BandUf::Seq(uf) => uf.find(x),
+            BandUf::Par(p) => {
+                let mut r = x;
+                loop {
+                    let q = p.load(r);
+                    if q == r {
+                        return r;
+                    }
+                    r = q;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            BandUf::Seq(uf) => uf.len(),
+            BandUf::Par(p) => p.capacity(),
+        }
+    }
+}
+
+/// The streaming two-pass labeling engine. See the module docs.
+///
+/// ```
+/// use ccl_image::BinaryImage;
+/// use ccl_stream::{ComponentRecord, StripLabeler};
+///
+/// let top = BinaryImage::parse("##.. ....");
+/// let bottom = BinaryImage::parse(".... ..##");
+/// let mut sink: Vec<ComponentRecord> = Vec::new();
+/// let mut labeler = StripLabeler::new(4);
+/// labeler.push_band(&top, &mut sink).unwrap();
+/// labeler.push_band(&bottom, &mut sink).unwrap();
+/// let stats = labeler.finish(&mut sink);
+/// assert_eq!(stats.components, 2);
+/// assert_eq!(sink[0].bbox, (0, 0, 0, 1));
+/// assert_eq!(sink[1].bbox, (3, 2, 3, 3));
+/// ```
+pub struct StripLabeler {
+    width: usize,
+    cfg: StripConfig,
+    rows_done: usize,
+    bands_done: usize,
+    /// Labels (active ids `1..=k`, 0 = background) of the last row of the
+    /// previous band; empty before the first band.
+    carry: Vec<u32>,
+    /// Accumulators of the open components, indexed by active id (slot 0
+    /// unused).
+    active: Vec<Accum>,
+    next_gid: u64,
+    finalized: u64,
+    peak_resident_rows: usize,
+}
+
+impl StripLabeler {
+    /// Sequential labeler for a stream of the given width.
+    pub fn new(width: usize) -> Self {
+        Self::with_config(width, StripConfig::default())
+    }
+
+    /// Labeler with explicit configuration.
+    pub fn with_config(width: usize, cfg: StripConfig) -> Self {
+        StripLabeler {
+            width,
+            cfg,
+            rows_done: 0,
+            bands_done: 0,
+            carry: Vec::new(),
+            active: vec![Accum::EMPTY],
+            next_gid: 1,
+            finalized: 0,
+            peak_resident_rows: 0,
+        }
+    }
+
+    /// Stream width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Rows labeled so far.
+    pub fn rows_pushed(&self) -> usize {
+        self.rows_done
+    }
+
+    /// Bands pushed so far.
+    pub fn bands_pushed(&self) -> usize {
+        self.bands_done
+    }
+
+    /// Components currently open (touching the carry row).
+    pub fn open_components(&self) -> usize {
+        self.active.len() - 1
+    }
+
+    /// Components emitted so far.
+    pub fn finalized_components(&self) -> u64 {
+        self.finalized
+    }
+
+    /// Maximum pixel rows resident at any point so far (tallest band + 1
+    /// carry row). This is the bounded-memory invariant: it never exceeds
+    /// twice the band height, however tall the streamed image grows.
+    pub fn peak_resident_rows(&self) -> usize {
+        self.peak_resident_rows
+    }
+
+    /// Labels the next band of rows, emitting every component that closes.
+    pub fn push_band<C: ComponentSink>(
+        &mut self,
+        band: &BinaryImage,
+        components: &mut C,
+    ) -> Result<(), StreamError> {
+        self.process(band, components, None)
+    }
+
+    /// Like [`Self::push_band`], additionally emitting the band's labeled
+    /// strip (and any id merges) through `labels`.
+    pub fn push_band_with_labels<C: ComponentSink, L: LabelSink>(
+        &mut self,
+        band: &BinaryImage,
+        components: &mut C,
+        labels: &mut L,
+    ) -> Result<(), StreamError> {
+        self.process(band, components, Some(labels))
+    }
+
+    /// Closes the stream: every still-open component is finalized and
+    /// emitted (ascending id), and the run's summary returned.
+    pub fn finish<C: ComponentSink>(mut self, components: &mut C) -> StreamStats {
+        let mut remaining: Vec<Accum> = self.active.drain(1..).collect();
+        remaining.sort_by_key(|a| a.gid);
+        for acc in remaining {
+            self.finalized += 1;
+            components.component(&acc.into_record());
+        }
+        StreamStats {
+            width: self.width,
+            rows: self.rows_done,
+            bands: self.bands_done,
+            components: self.finalized,
+            peak_resident_rows: self.peak_resident_rows,
+        }
+    }
+
+    fn process(
+        &mut self,
+        band: &BinaryImage,
+        components: &mut dyn ComponentSink,
+        strips: Option<&mut dyn LabelSink>,
+    ) -> Result<(), StreamError> {
+        if band.width() != self.width {
+            return Err(StreamError::WidthMismatch {
+                expected: self.width,
+                got: band.width(),
+            });
+        }
+        let (w, h) = (self.width, band.height());
+        if h == 0 || w == 0 {
+            self.rows_done += h;
+            self.bands_done += usize::from(h > 0);
+            return Ok(());
+        }
+        self.peak_resident_rows = self
+            .peak_resident_rows
+            .max(h + usize::from(!self.carry.is_empty()));
+        let n_carry = (self.active.len() - 1) as u32;
+
+        // Scan the band (chunk-local semantics: rows above read as
+        // background) and seam-merge its first row against the carry row.
+        let (labels, mut uf) = if self.cfg.threads <= 1 {
+            let mut store = RemSP::with_capacity(1 + n_carry as usize + max_labels_two_line(h, w));
+            for id in 0..=n_carry {
+                store.new_label(id);
+            }
+            let mut labels = vec![0u32; h * w];
+            scan_two_line(band, 0..h, &mut labels, &mut store, n_carry + 1);
+            if !self.carry.is_empty() {
+                merge_seam(&self.carry, &labels[..w], &mut store);
+            }
+            (labels, BandUf::Seq(store))
+        } else {
+            let (labels, parents) = scan_band_parallel(band, &self.carry, n_carry, &self.cfg);
+            (labels, BandUf::Par(parents))
+        };
+
+        // Fold the carried accumulators onto their (possibly merged)
+        // roots. Any set containing a carried id is rooted at a carried id
+        // (Rem roots are set minima and carried ids occupy the low slots).
+        let nslots = uf.len();
+        let mut acc = vec![Accum::EMPTY; nslots];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut merges: Vec<(u64, u64)> = Vec::new();
+        for id in 1..=n_carry {
+            let root = uf.find(id);
+            let src = self.active[id as usize];
+            let dst = &mut acc[root as usize];
+            if dst.area == 0 {
+                *dst = src;
+                touched.push(root);
+            } else {
+                let (kept, absorbed) = if dst.gid <= src.gid {
+                    (dst.gid, src.gid)
+                } else {
+                    (src.gid, dst.gid)
+                };
+                dst.merge_with(&src);
+                dst.gid = kept;
+                merges.push((kept, absorbed));
+            }
+        }
+
+        // Accumulate the band's pixels per root, assigning fresh ids to
+        // new components in raster order of their first pixel.
+        let r0 = self.rows_done;
+        let mut strip_gids = if strips.is_some() {
+            vec![0u64; h * w]
+        } else {
+            Vec::new()
+        };
+        let mut root_of: Vec<u32> = vec![u32::MAX; nslots];
+        for (i, &l) in labels.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let root = if root_of[l as usize] != u32::MAX {
+                root_of[l as usize]
+            } else {
+                let r = uf.find(l);
+                root_of[l as usize] = r;
+                r
+            };
+            let slot = &mut acc[root as usize];
+            let (r, c) = (r0 + i / w, i % w);
+            if slot.area == 0 {
+                *slot = Accum::first(r, c);
+                slot.gid = self.next_gid;
+                self.next_gid += 1;
+                touched.push(root);
+            } else {
+                slot.add(r, c);
+            }
+            if strips.is_some() {
+                strip_gids[i] = slot.gid;
+            }
+        }
+
+        // Components with a pixel on the band's last row stay open:
+        // compact them to active ids 1..=k and rebuild the carry row.
+        // Everything else has closed — no later row can reach it.
+        let last = &labels[(h - 1) * w..];
+        let mut new_active: Vec<Accum> = vec![Accum::EMPTY];
+        let mut new_carry = vec![0u32; w];
+        let mut survivor_id: Vec<u32> = vec![0; nslots];
+        for (c, &l) in last.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let root = root_of[l as usize] as usize;
+            if survivor_id[root] == 0 {
+                new_active.push(acc[root]);
+                survivor_id[root] = (new_active.len() - 1) as u32;
+            }
+            new_carry[c] = survivor_id[root];
+        }
+
+        let mut closed: Vec<Accum> = touched
+            .iter()
+            .filter(|&&root| survivor_id[root as usize] == 0)
+            .map(|&root| acc[root as usize])
+            .collect();
+        closed.sort_by_key(|a| a.gid);
+        for acc in closed {
+            self.finalized += 1;
+            components.component(&acc.into_record());
+        }
+
+        if let Some(sink) = strips {
+            merges.sort_unstable();
+            for (kept, absorbed) in merges {
+                sink.merge(kept, absorbed);
+            }
+            sink.strip(r0, w, &strip_gids);
+        }
+
+        self.active = new_active;
+        self.carry = new_carry;
+        self.rows_done += h;
+        self.bands_done += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{CollectLabelImage, ComponentRecord, CountComponents};
+
+    fn run_banded(
+        img: &BinaryImage,
+        band_h: usize,
+        cfg: StripConfig,
+    ) -> (Vec<ComponentRecord>, StreamStats) {
+        let mut sink: Vec<ComponentRecord> = Vec::new();
+        let mut labeler = StripLabeler::with_config(img.width(), cfg);
+        let mut r = 0;
+        while r < img.height() {
+            let rows = band_h.min(img.height() - r);
+            let band = img.crop(r, 0, img.width(), rows);
+            labeler.push_band(&band, &mut sink).unwrap();
+            r += rows;
+        }
+        let stats = labeler.finish(&mut sink);
+        (sink, stats)
+    }
+
+    #[test]
+    fn single_band_matches_whole_image_analysis() {
+        let img = BinaryImage::parse(
+            "##..
+             ##..
+             ...#",
+        );
+        let (recs, stats) = run_banded(&img, 3, StripConfig::default());
+        assert_eq!(stats.components, 2);
+        assert_eq!(recs[0].area, 4);
+        assert_eq!(recs[0].bbox, (0, 0, 1, 1));
+        assert_eq!(recs[0].anchor, (0, 0));
+        assert_eq!(recs[1].area, 1);
+        assert_eq!(recs[1].bbox, (2, 3, 2, 3));
+    }
+
+    #[test]
+    fn component_spanning_every_band_boundary() {
+        // vertical line through 8 rows, bands of 2
+        let img = BinaryImage::from_fn(5, 8, |_, c| c == 2);
+        for band_h in 1..=8 {
+            let (recs, stats) = run_banded(&img, band_h, StripConfig::default());
+            assert_eq!(stats.components, 1, "band height {band_h}");
+            assert_eq!(recs[0].area, 8);
+            assert_eq!(recs[0].bbox, (0, 2, 7, 2));
+            assert!((recs[0].centroid.0 - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn u_shape_merges_across_bands_and_keeps_older_id() {
+        // two arms that join only in the last row
+        let img = BinaryImage::parse(
+            "#.#
+             #.#
+             #.#
+             ###",
+        );
+        for band_h in 1..=4 {
+            let (recs, stats) = run_banded(&img, band_h, StripConfig::default());
+            assert_eq!(stats.components, 1, "band height {band_h}");
+            assert_eq!(recs[0].id, 1, "older id survives");
+            assert_eq!(recs[0].area, 9);
+            assert_eq!(recs[0].bbox, (0, 0, 3, 2));
+        }
+    }
+
+    #[test]
+    fn components_close_as_soon_as_possible() {
+        let img = BinaryImage::parse(
+            "##..
+             ....
+             ..##
+             ....",
+        );
+        let mut sink: Vec<ComponentRecord> = Vec::new();
+        let mut labeler = StripLabeler::new(4);
+        labeler.push_band(&img.crop(0, 0, 4, 2), &mut sink).unwrap();
+        // first component closed already: no pixel on row 1
+        assert_eq!(sink.len(), 1);
+        assert_eq!(labeler.open_components(), 0);
+        labeler.push_band(&img.crop(2, 0, 4, 2), &mut sink).unwrap();
+        assert_eq!(sink.len(), 2);
+        let stats = labeler.finish(&mut sink);
+        assert_eq!(stats.components, 2);
+        assert_eq!(sink[1].bbox, (2, 2, 2, 3));
+    }
+
+    #[test]
+    fn label_slots_are_recycled() {
+        // many short-lived components: active set stays tiny
+        let img = BinaryImage::from_fn(64, 64, |r, _| r % 2 == 0);
+        let mut sink = CountComponents::default();
+        let mut labeler = StripLabeler::new(64);
+        for r in (0..64).step_by(2) {
+            labeler
+                .push_band(&img.crop(r, 0, 64, 2), &mut sink)
+                .unwrap();
+            assert!(labeler.open_components() <= 1, "row {r}");
+        }
+        let stats = labeler.finish(&mut sink);
+        assert_eq!(stats.components, 32);
+        assert_eq!(sink.count, 32);
+    }
+
+    #[test]
+    fn bounded_memory_invariant() {
+        let img = BinaryImage::from_fn(16, 256, |r, c| (r + c) % 3 != 0);
+        let (_, stats) = run_banded(&img, 8, StripConfig::default());
+        assert!(stats.peak_resident_rows <= 2 * 8);
+        assert_eq!(stats.peak_resident_rows, 9); // 8-row band + carry row
+        assert_eq!(stats.rows, 256);
+        assert_eq!(stats.bands, 32);
+    }
+
+    #[test]
+    fn band_height_invariance_on_random_images() {
+        let mut state = 7u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        let img = BinaryImage::from_fn(23, 31, |_, _| rnd());
+        let (reference, _) = run_banded(&img, 31, StripConfig::default());
+        let mut sorted_ref = reference.clone();
+        sorted_ref.sort_by_key(|r| r.anchor);
+        for band_h in [1, 2, 3, 5, 8, 13, 30] {
+            let (mut recs, _) = run_banded(&img, band_h, StripConfig::default());
+            recs.sort_by_key(|r| r.anchor);
+            let strip: Vec<_> = recs
+                .iter()
+                .map(|r| (r.anchor, r.area, r.bbox, r.centroid))
+                .collect();
+            let whole: Vec<_> = sorted_ref
+                .iter()
+                .map(|r| (r.anchor, r.area, r.bbox, r.centroid))
+                .collect();
+            assert_eq!(strip, whole, "band height {band_h}");
+        }
+    }
+
+    #[test]
+    fn parallel_mode_is_bit_identical_to_sequential() {
+        let mut state = 99u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        let img = BinaryImage::from_fn(40, 57, |_, _| rnd());
+        let (seq, seq_stats) = run_banded(&img, 9, StripConfig::sequential());
+        for threads in [2, 3, 8] {
+            for merger in MergerKind::ALL {
+                let cfg = StripConfig::parallel(threads).with_merger(merger);
+                let (par, par_stats) = run_banded(&img, 9, cfg);
+                assert_eq!(par, seq, "{threads} threads, {merger}");
+                assert_eq!(par_stats, seq_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn strips_reconcile_into_the_exact_partition() {
+        let img = BinaryImage::parse(
+            "#.#.#
+             #.#.#
+             #####
+             .....
+             ##.##",
+        );
+        let mut comps = CountComponents::default();
+        let mut strips = CollectLabelImage::default();
+        let mut labeler = StripLabeler::new(5);
+        for r in 0..img.height() {
+            labeler
+                .push_band_with_labels(&img.crop(r, 0, 5, 1), &mut comps, &mut strips)
+                .unwrap();
+        }
+        let stats = labeler.finish(&mut comps);
+        let li = strips.into_label_image();
+        assert_eq!(li.num_components() as u64, stats.components);
+        let reference = ccl_core::seq::aremsp(&img);
+        assert!(ccl_core::verify::labelings_equivalent(&li, &reference));
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let mut labeler = StripLabeler::new(4);
+        let mut sink = CountComponents::default();
+        let err = labeler
+            .push_band(&BinaryImage::zeros(3, 2), &mut sink)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::WidthMismatch {
+                expected: 4,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_and_degenerate_streams() {
+        let mut sink = CountComponents::default();
+        let stats = StripLabeler::new(8).finish(&mut sink);
+        assert_eq!(stats.components, 0);
+        assert_eq!(stats.rows, 0);
+
+        // zero-width stream
+        let mut labeler = StripLabeler::new(0);
+        labeler
+            .push_band(&BinaryImage::zeros(0, 5), &mut sink)
+            .unwrap();
+        let stats = labeler.finish(&mut sink);
+        assert_eq!(stats.components, 0);
+        assert_eq!(stats.rows, 5);
+    }
+
+    #[test]
+    fn all_background_band_closes_everything() {
+        let mut sink: Vec<ComponentRecord> = Vec::new();
+        let mut labeler = StripLabeler::new(3);
+        labeler
+            .push_band(&BinaryImage::ones(3, 2), &mut sink)
+            .unwrap();
+        assert_eq!(labeler.open_components(), 1);
+        labeler
+            .push_band(&BinaryImage::zeros(3, 2), &mut sink)
+            .unwrap();
+        assert_eq!(labeler.open_components(), 0);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].area, 6);
+        let stats = labeler.finish(&mut sink);
+        assert_eq!(stats.components, 1);
+    }
+
+    #[test]
+    fn ids_are_never_reused_across_closures() {
+        let mut sink: Vec<ComponentRecord> = Vec::new();
+        let mut labeler = StripLabeler::new(2);
+        for _ in 0..5 {
+            labeler
+                .push_band(&BinaryImage::ones(2, 1), &mut sink)
+                .unwrap();
+            labeler
+                .push_band(&BinaryImage::zeros(2, 1), &mut sink)
+                .unwrap();
+        }
+        labeler.finish(&mut sink);
+        let ids: Vec<u64> = sink.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+}

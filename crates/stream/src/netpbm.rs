@@ -1,0 +1,135 @@
+//! Netpbm file sources — incremental PBM/PGM decoding as [`RowSource`]s.
+//!
+//! The decoders themselves live in [`ccl_image::io::stream`]; these
+//! adapters bind them to the labeling pipeline. PGM streams are binarized
+//! band-by-band with the paper's `im2bw` threshold, so a grayscale raster
+//! of any height labels in O(band) memory end to end.
+
+use std::io::Read;
+
+use ccl_image::io::stream::{PbmBands, PgmBands};
+use ccl_image::threshold::im2bw;
+use ccl_image::BinaryImage;
+
+use crate::error::StreamError;
+use crate::source::RowSource;
+
+/// Streams a PBM (`P1`/`P4`) file as row bands.
+pub struct PbmSource<R: Read> {
+    bands: PbmBands<R>,
+}
+
+impl<R: Read> PbmSource<R> {
+    /// Parses the header from `reader` (wrap files in a
+    /// [`std::io::BufReader`]).
+    pub fn new(reader: R) -> Result<Self, StreamError> {
+        Ok(PbmSource {
+            bands: PbmBands::new(reader)?,
+        })
+    }
+
+    /// Total image height declared by the header.
+    pub fn height(&self) -> usize {
+        self.bands.height()
+    }
+}
+
+impl<R: Read> RowSource for PbmSource<R> {
+    fn width(&self) -> usize {
+        self.bands.width()
+    }
+
+    fn rows_remaining(&self) -> Option<usize> {
+        Some(self.bands.rows_remaining())
+    }
+
+    fn next_band(&mut self, max_rows: usize) -> Result<Option<BinaryImage>, StreamError> {
+        Ok(self.bands.next_band(max_rows)?)
+    }
+}
+
+/// Streams a PGM (`P2`/`P5`) file as row bands, binarized with the fixed
+/// `im2bw` threshold (the paper's preparation pipeline).
+pub struct PgmSource<R: Read> {
+    bands: PgmBands<R>,
+    level: f64,
+}
+
+impl<R: Read> PgmSource<R> {
+    /// Parses the header from `reader`; `level` is the `im2bw` luminance
+    /// threshold in `[0, 1]` (the paper uses 0.5).
+    pub fn new(reader: R, level: f64) -> Result<Self, StreamError> {
+        Ok(PgmSource {
+            bands: PgmBands::new(reader)?,
+            level,
+        })
+    }
+
+    /// Total image height declared by the header.
+    pub fn height(&self) -> usize {
+        self.bands.height()
+    }
+}
+
+impl<R: Read> RowSource for PgmSource<R> {
+    fn width(&self) -> usize {
+        self.bands.width()
+    }
+
+    fn rows_remaining(&self) -> Option<usize> {
+        Some(self.bands.rows_remaining())
+    }
+
+    fn next_band(&mut self, max_rows: usize) -> Result<Option<BinaryImage>, StreamError> {
+        match self.bands.next_band(max_rows)? {
+            Some(gray) => Ok(Some(im2bw(&gray, self.level))),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccl_image::io::{pbm, pgm};
+    use ccl_image::GrayImage;
+
+    #[test]
+    fn pbm_source_streams_written_image() {
+        let img = BinaryImage::parse("#.# .#. #.# ###");
+        let bytes = pbm::write_binary(&img);
+        let mut src = PbmSource::new(bytes.as_slice()).unwrap();
+        assert_eq!((src.width(), src.height()), (3, 4));
+        let mut rows = 0;
+        while let Some(band) = src.next_band(3).unwrap() {
+            for r in 0..band.height() {
+                assert_eq!(band.row(r), img.row(rows + r));
+            }
+            rows += band.height();
+        }
+        assert_eq!(rows, 4);
+    }
+
+    #[test]
+    fn pgm_source_matches_whole_image_im2bw() {
+        let gray = GrayImage::from_fn(9, 6, |r, c| (r * 37 + c * 19) as u8);
+        let expected = im2bw(&gray, 0.5);
+        let bytes = pgm::write_binary(&gray);
+        let mut src = PgmSource::new(bytes.as_slice(), 0.5).unwrap();
+        let mut rows = 0;
+        while let Some(band) = src.next_band(2).unwrap() {
+            for r in 0..band.height() {
+                assert_eq!(band.row(r), expected.row(rows + r), "row {}", rows + r);
+            }
+            rows += band.height();
+        }
+        assert_eq!(rows, 6);
+        assert_eq!(src.rows_remaining(), Some(0));
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        assert!(PbmSource::new(&b"P2\n1 1\n255\n0\n"[..]).is_err());
+        assert!(PgmSource::new(&b"P1\n1 1\n0\n"[..], 0.5).is_err());
+    }
+}

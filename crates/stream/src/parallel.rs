@@ -1,0 +1,115 @@
+//! Parallel in-band scanning — PAREMSP applied *within* one resident band.
+//!
+//! The band is partitioned row-wise exactly like PAREMSP partitions a
+//! whole image ([`ccl_core::par::partition_rows`]); each chunk scans with
+//! a disjoint provisional-label range into a shared [`ConcurrentParents`]
+//! array whose low slots `1..=n_carry` hold the carried inter-band labels.
+//! Chunk-boundary rows merge in parallel with the configured MERGER
+//! (Algorithm 8 or its CAS variant), then the band's first row merges
+//! sequentially against the carried boundary row — the same seam logic
+//! ([`merge_seam`]) throughout.
+
+use ccl_core::par::MergerStore;
+use ccl_core::scan::{merge_seam, scan_two_line};
+use ccl_image::BinaryImage;
+use ccl_unionfind::par::{CasMerger, ConcurrentMerger, ConcurrentParents, LockedMerger};
+use ccl_unionfind::EquivalenceStore;
+
+use crate::labeler::StripConfig;
+
+/// Scans `band` with `cfg.threads` workers. Returns the band's label
+/// buffer and the shared parent array: slots `1..=n_carry` are the
+/// carried labels (already seam-merged against the band's first row when
+/// `carry` is non-empty), band labels start at `n_carry + 1`.
+pub(crate) fn scan_band_parallel(
+    band: &BinaryImage,
+    carry: &[u32],
+    n_carry: u32,
+    cfg: &StripConfig,
+) -> (Vec<u32>, ConcurrentParents) {
+    match cfg.merger {
+        ccl_core::par::MergerKind::Locked => {
+            let merger = match cfg.lock_stripes {
+                Some(s) => LockedMerger::with_stripes(s),
+                None => LockedMerger::new(),
+            };
+            scan_with(band, carry, n_carry, cfg.threads, &merger)
+        }
+        ccl_core::par::MergerKind::Cas => {
+            scan_with(band, carry, n_carry, cfg.threads, &CasMerger::new())
+        }
+    }
+}
+
+fn scan_with<M: ConcurrentMerger>(
+    band: &BinaryImage,
+    carry: &[u32],
+    n_carry: u32,
+    threads: usize,
+    merger: &M,
+) -> (Vec<u32>, ConcurrentParents) {
+    let (w, h) = (band.width(), band.height());
+    debug_assert!(w > 0 && h > 0, "caller filters degenerate bands");
+    let mut chunks = ccl_core::par::partition_rows(h, w, threads.max(1));
+    for chunk in &mut chunks {
+        chunk.label_offset += n_carry;
+    }
+    let slots = chunks.last().map_or(n_carry as usize + 1, |c| {
+        (c.label_offset + c.label_capacity) as usize
+    });
+    let parents = ConcurrentParents::new(slots);
+    {
+        let mut store = parents.chunk_store();
+        for id in 1..=n_carry {
+            store.new_label(id);
+        }
+    }
+    let mut labels = vec![0u32; w * h];
+
+    // Phase 1: disjoint-range chunk scans (contention-free by construction).
+    rayon::scope(|s| {
+        let mut rest: &mut [u32] = &mut labels;
+        for chunk in &chunks {
+            let (mine, tail) = rest.split_at_mut(chunk.num_rows() * w);
+            rest = tail;
+            let parents = &parents;
+            s.spawn(move |_| {
+                let mut store = parents.chunk_store();
+                scan_two_line(
+                    band,
+                    chunk.rows.clone(),
+                    mine,
+                    &mut store,
+                    chunk.label_offset,
+                );
+            });
+        }
+    });
+
+    // Phase 2: chunk-boundary seams in parallel with the configured merger.
+    if chunks.len() > 1 {
+        let labels_ref = &labels;
+        rayon::scope(|s| {
+            for chunk in &chunks[1..] {
+                let parents = &parents;
+                let r = chunk.rows.start;
+                s.spawn(move |_| {
+                    let mut store = MergerStore::new(parents, merger);
+                    merge_seam(
+                        &labels_ref[(r - 1) * w..r * w],
+                        &labels_ref[r * w..(r + 1) * w],
+                        &mut store,
+                    );
+                });
+            }
+        });
+    }
+
+    // Phase 3: the inter-band seam, sequential (one row per band).
+    if !carry.is_empty() {
+        let mut store = MergerStore::new(&parents, merger);
+        merge_seam(carry, &labels[..w], &mut store);
+    }
+
+    (labels, parents)
+}

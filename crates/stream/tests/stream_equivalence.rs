@@ -1,0 +1,244 @@
+//! Integration tests: the strip labeler's streamed analysis is equivalent
+//! to whole-image AREMSP + `ccl_core::analysis` on the same pixels —
+//! across band heights, synthetic generators, and thread counts — while
+//! never holding more than one band plus the carry row.
+
+use proptest::prelude::*;
+
+use ccl_core::analysis::region_properties;
+use ccl_core::seq::aremsp;
+use ccl_core::verify::labelings_equivalent;
+use ccl_datasets::synth::adversarial::{
+    comb, fine_checkerboard, hstripes, serpentine, spiral, vstripes,
+};
+use ccl_datasets::synth::blobs::{blob_field, BlobParams};
+use ccl_datasets::synth::landcover::{landcover, LandcoverParams};
+use ccl_datasets::synth::noise::bernoulli;
+use ccl_datasets::synth::shapes::{shape_scene, text_page};
+use ccl_datasets::synth::stream::bernoulli_stream;
+use ccl_datasets::synth::texture::{checkerboard, grating, rings, stripes};
+use ccl_image::BinaryImage;
+use ccl_stream::{
+    analyze_stream, stream_to_label_image, ComponentRecord, MemorySource, RowSource, StripConfig,
+    StripLabeler,
+};
+
+/// One image per synthetic generator family, sized `w × h` (the spiral is
+/// square by construction).
+fn generator_image(idx: usize, w: usize, h: usize, seed: u64) -> BinaryImage {
+    let params = BlobParams {
+        coverage: 0.35,
+        min_radius: 1,
+        max_radius: 4,
+    };
+    let lc = LandcoverParams {
+        base_scale: 6.0,
+        octaves: 3,
+        persistence: 0.5,
+    };
+    match idx {
+        0 => bernoulli(w, h, 0.45, seed),
+        1 => landcover(w, h, lc, seed),
+        2 => blob_field(w, h, params, seed),
+        3 => shape_scene(w, h, 1 + (seed % 7) as usize, seed),
+        4 => text_page(w, h, 1, seed),
+        5 => checkerboard(w, h, 1 + (seed % 3) as usize),
+        6 => stripes(w, h, 5, 2, (1, 1)),
+        7 => grating(w, h, 0.31, 0.17, 0.4),
+        8 => rings(w, h, 4.0),
+        9 => serpentine(w, h),
+        10 => comb(w, h, h / 2),
+        11 => fine_checkerboard(w, h),
+        12 => hstripes(w, h),
+        13 => vstripes(w, h),
+        _ => spiral(w.max(3)),
+    }
+}
+
+const NUM_GENERATORS: usize = 15;
+
+/// Per-component features keyed by the raster-first anchor (unique per
+/// component), comparable across labelers. Centroid sums are integer
+/// accumulations in f64 (exact below 2^53), so equality is exact.
+type Features = Vec<(
+    (usize, usize),
+    u64,
+    (usize, usize, usize, usize),
+    (f64, f64),
+)>;
+
+fn whole_image_features(img: &BinaryImage) -> Features {
+    let labels = aremsp(img);
+    let mut anchors = vec![usize::MAX; labels.num_components() as usize + 1];
+    for (i, &l) in labels.as_slice().iter().enumerate() {
+        if l != 0 && anchors[l as usize] == usize::MAX {
+            anchors[l as usize] = i;
+        }
+    }
+    let w = img.width();
+    let mut out: Features = region_properties(&labels)
+        .into_iter()
+        .map(|region| {
+            let a = anchors[region.label as usize];
+            (
+                (a / w, a % w),
+                region.area as u64,
+                region.bbox,
+                region.centroid,
+            )
+        })
+        .collect();
+    out.sort_unstable_by_key(|f| f.0);
+    out
+}
+
+fn stream_features(records: &[ComponentRecord]) -> Features {
+    let mut out: Features = records
+        .iter()
+        .map(|r| (r.anchor, r.area, r.bbox, r.centroid))
+        .collect();
+    out.sort_unstable_by_key(|f| f.0);
+    out
+}
+
+fn banded_features(img: &BinaryImage, band: usize, cfg: StripConfig) -> Features {
+    let mut src = MemorySource::new(img);
+    let (records, stats) = analyze_stream(&mut src, band, cfg).unwrap();
+    assert_eq!(stats.components as usize, records.len());
+    assert!(stats.peak_resident_rows <= 2 * band.max(1));
+    stream_features(&records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Satellite: `StripLabeler` analysis (count/areas/bboxes/centroids)
+    /// equals `aremsp` + `ccl_core::analysis` on the same image, across
+    /// band heights 1..=H and all synthetic generators.
+    #[test]
+    fn strip_analysis_matches_whole_image_analysis(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=20,
+        h in 1usize..=20,
+        band in 1usize..=21,
+        seed in 0u64..1000,
+    ) {
+        let img = generator_image(gen, w, h, seed);
+        let expected = whole_image_features(&img);
+        let got = banded_features(&img, band, StripConfig::default());
+        prop_assert_eq!(got, expected, "generator {} band {}", gen, band);
+    }
+
+    /// The in-band PAREMSP mode is output-identical to the sequential
+    /// mode, for every merger and thread count.
+    #[test]
+    fn parallel_mode_matches_sequential(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=18,
+        h in 1usize..=18,
+        band in 1usize..=19,
+        threads in 2usize..=8,
+        cas in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use ccl_core::par::MergerKind;
+        let img = generator_image(gen, w, h, seed);
+        let cfg = StripConfig::parallel(threads)
+            .with_merger(if cas { MergerKind::Cas } else { MergerKind::Locked });
+        let seq = banded_features(&img, band, StripConfig::sequential());
+        let par = banded_features(&img, band, cfg);
+        prop_assert_eq!(par, seq, "generator {} threads {}", gen, threads);
+    }
+
+    /// Labeled-strip output reconciles into the exact whole-image
+    /// partition.
+    #[test]
+    fn strip_labels_reconcile_to_aremsp_partition(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=16,
+        h in 1usize..=16,
+        band in 1usize..=17,
+        seed in 0u64..1000,
+    ) {
+        let img = generator_image(gen, w, h, seed);
+        let mut src = MemorySource::new(&img);
+        let (li, stats) = stream_to_label_image(&mut src, band, StripConfig::default()).unwrap();
+        let reference = aremsp(&img);
+        prop_assert_eq!(stats.components, reference.num_components() as u64);
+        prop_assert!(labelings_equivalent(&li, &reference));
+    }
+}
+
+/// Acceptance-criteria shape at CI-friendly scale: a tall synthetic image
+/// streamed straight from a generator, never materialized, produces
+/// component count + per-component stats identical to whole-image AREMSP,
+/// while the labeler holds at most 2 bands of pixel rows.
+#[test]
+fn tall_stream_flat_memory_matches_whole_image() {
+    let (w, h, band) = (256, 16_384, 256);
+    let mut source = bernoulli_stream(w, h, 0.5, 77);
+    let mut records: Vec<ComponentRecord> = Vec::new();
+    let mut labeler = StripLabeler::new(w);
+    while let Some(b) = RowSource::next_band(&mut source, band).unwrap() {
+        labeler.push_band(&b, &mut records).unwrap();
+        assert!(
+            labeler.peak_resident_rows() <= 2 * band,
+            "resident rows exceeded two bands"
+        );
+    }
+    let stats = labeler.finish(&mut records);
+    assert_eq!(stats.rows, h);
+    assert_eq!(stats.peak_resident_rows, band + 1);
+
+    let img = bernoulli(w, h, 0.5, 77);
+    assert_eq!(
+        stats.components,
+        aremsp(&img).num_components() as u64,
+        "component count"
+    );
+    assert_eq!(stream_features(&records), whole_image_features(&img));
+}
+
+/// The full acceptance-criteria scale: 1,024 × 262,144 (268 Mpixel) in
+/// 1,024-row bands. Ignored by default (minutes in debug builds); run
+/// with `cargo test --release -p ccl-stream -- --ignored`.
+#[test]
+#[ignore = "268 Mpixel acceptance run; use cargo test --release -- --ignored"]
+fn gigascale_stream_flat_memory_matches_whole_image() {
+    let (w, h, band) = (1024, 262_144, 1024);
+    let mut source = bernoulli_stream(w, h, 0.5, 4242);
+    let mut records: Vec<ComponentRecord> = Vec::new();
+    let mut labeler = StripLabeler::new(w);
+    while let Some(b) = RowSource::next_band(&mut source, band).unwrap() {
+        labeler.push_band(&b, &mut records).unwrap();
+        assert!(labeler.peak_resident_rows() <= 2 * band);
+    }
+    let stats = labeler.finish(&mut records);
+    assert_eq!(stats.rows, h);
+
+    let img = bernoulli(w, h, 0.5, 4242);
+    assert_eq!(stats.components, aremsp(&img).num_components() as u64);
+    assert_eq!(stream_features(&records), whole_image_features(&img));
+}
+
+/// Streaming a Netpbm file end to end: write → stream-decode → label →
+/// analysis identical to decoding the whole file.
+#[test]
+fn netpbm_stream_end_to_end() {
+    let img = blob_field(
+        64,
+        200,
+        BlobParams {
+            coverage: 0.3,
+            min_radius: 2,
+            max_radius: 6,
+        },
+        9,
+    );
+    let bytes = ccl_image::io::pbm::write_binary(&img);
+    let mut src = ccl_stream::PbmSource::new(bytes.as_slice()).unwrap();
+    let (records, stats) = analyze_stream(&mut src, 16, StripConfig::default()).unwrap();
+    assert_eq!(stats.rows, 200);
+    assert!(stats.peak_resident_rows <= 17);
+    assert_eq!(stream_features(&records), whole_image_features(&img));
+}

@@ -1,6 +1,6 @@
 //! He–Chao–Suzuki equivalence table (`rtable` / `next` / `tail`) — the
 //! label-equivalence structure used by the RUN and ARUN baselines (the
-//! paper's refs [37] and [43]).
+//! paper's refs \[37\] and \[43\]).
 //!
 //! Instead of a tree, each equivalence class is kept as a linked list of
 //! its member labels, with every member's representative maintained

@@ -7,19 +7,19 @@
 //! the scan phase and resolve them before the labeling pass. The paper's
 //! contribution rests on using **REM's union-find with splicing (RemSP)**
 //! — the fastest variant in the Patwary–Blair–Manne study (the paper's
-//! ref [40]) — instead of the structures used by the prior CCLLRPC and
+//! ref \[40\]) — instead of the structures used by the prior CCLLRPC and
 //! ARUN algorithms. This crate implements the full comparison suite:
 //!
 //! * [`RemSP`] — Rem's algorithm with the splicing (SP) compression, the
 //!   paper's Algorithm 2,
 //! * [`RankUF`] — array-based link-by-rank with path compression (the
-//!   union-find inside CCLLRPC, ref [36]); path-halving and path-splitting
+//!   union-find inside CCLLRPC, ref \[36\]); path-halving and path-splitting
 //!   compression options are included for the ablation benches,
 //! * [`SizeUF`] — link-by-size with path compression,
 //! * [`MinUF`] — link-by-minimum-root (keeps the smallest provisional
 //!   label as representative, the classic CCL choice),
 //! * [`HeEquivalence`] — the `rtable`/`next`/`tail` three-array structure
-//!   of He–Chao–Suzuki (refs [37], [43]) used by the ARUN baseline,
+//!   of He–Chao–Suzuki (refs \[37\], \[43\]) used by the ARUN baseline,
 //! * [`par`] — the shared-memory structures for PAREMSP: a lock-guarded
 //!   MERGER faithful to the paper's Algorithm 8 and a CAS-only variant.
 //!

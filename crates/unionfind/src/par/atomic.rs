@@ -6,7 +6,7 @@
 //! failed exchange simply re-reads and continues; no write ever lands on a
 //! stale premise, so every slot's value sequence is strictly decreasing
 //! and the monotone invariant is immediate. This is the "verification
-//! technique" variant of Patwary–Refsnes–Manne (the paper's ref [38]),
+//! technique" variant of Patwary–Refsnes–Manne (the paper's ref \[38\]),
 //! which their experiments — and ours (ablation A3) — show trades slightly
 //! more retries for no lock traffic.
 

@@ -1,5 +1,5 @@
 //! MERGER — the lock-guarded parallel Rem's algorithm, faithful to the
-//! paper's Algorithm 8 (from Patwary, Refsnes & Manne, ref [38]).
+//! paper's Algorithm 8 (from Patwary, Refsnes & Manne, ref \[38\]).
 //!
 //! The walk is ordinary Rem with splicing; only the *root link* — the one
 //! write that commits a union — takes a lock. The thread acquires the

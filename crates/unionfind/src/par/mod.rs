@@ -28,7 +28,7 @@
 //! issues: a slot is only ever overwritten with a value smaller than a
 //! previously observed value of some slot on the walk, all bounded by the
 //! slot index (see the proofs in Patwary–Refsnes–Manne, the paper's
-//! ref [38]). The stress tests below and in `tests/` check the partitions
+//! ref \[38\]). The stress tests below and in `tests/` check the partitions
 //! against sequential RemSP over many seeds and thread counts.
 
 pub mod atomic;

@@ -3,7 +3,7 @@
 //! All variants share the element model described at the crate root and
 //! implement both [`crate::UnionFind`] and [`crate::EquivalenceStore`].
 //! The variants differ along the two axes studied by Patwary, Blair &
-//! Manne (the paper's ref [40]):
+//! Manne (the paper's ref \[40\]):
 //!
 //! | Variant | Linking rule | Compression |
 //! |---------|--------------|-------------|

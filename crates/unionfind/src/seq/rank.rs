@@ -1,5 +1,5 @@
 //! Link-by-rank union-find — the structure inside CCLLRPC (Wu, Otoo &
-//! Suzuki, the paper's ref [36]): array-based, union by rank, with path
+//! Suzuki, the paper's ref \[36\]): array-based, union by rank, with path
 //! compression. Gupta et al. cite the Patwary–Blair–Manne finding that
 //! this is *not* the best choice, which motivates RemSP; we implement it
 //! faithfully as the baseline, plus the path-halving / path-splitting

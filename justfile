@@ -2,7 +2,7 @@
 # local runs and CI cannot drift. `just ci` is the full gate.
 
 # Full CI gate: everything the workflow runs, in the same order.
-ci: fmt-check clippy build test smoke bench-smoke
+ci: fmt-check clippy build test doc smoke stream-smoke bench-smoke
 
 # Format the whole workspace in place.
 fmt:
@@ -24,11 +24,19 @@ build:
 test:
     cargo test --locked -q --workspace
 
+# CI's rustdoc gate: every public item documented, no broken links.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --locked --no-deps --workspace
+
 # Run the quickstart example end to end.
 smoke:
     cargo run --locked --release --example quickstart
 
-# Compile all nine criterion benches without running them.
+# Run the streaming (ccl-stream) example end to end.
+stream-smoke:
+    cargo run --locked --release --example stream_components
+
+# Compile all ten criterion benches without running them.
 bench-smoke:
     cargo bench --locked --no-run --workspace
 
@@ -36,6 +44,12 @@ bench-smoke:
 bench:
     cargo bench --workspace
 
-# Reproduce the paper's tables and figures (synthetic datasets).
+# Reproduce the paper's tables and figures (synthetic datasets) and
+# refresh the results/BENCH_*.json perf snapshots.
 repro:
     cargo run --release -p ccl-bench --bin repro_all
+
+# Full-scale streaming acceptance run: 268 Mpixel in 1024-row bands,
+# analysis identical to whole-image AREMSP, <= 2 bands resident.
+stream-stress:
+    cargo test --release -p ccl-stream --test stream_equivalence -- --ignored

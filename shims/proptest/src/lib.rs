@@ -238,7 +238,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification accepted by [`vec`]: a fixed `usize`, a
+    /// Length specification accepted by [`vec()`]: a fixed `usize`, a
     /// `Range<usize>` or a `RangeInclusive<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

@@ -4,16 +4,21 @@
 //! for Two-Pass Connected Component Labeling"* (Gupta, Palsetia, Patwary,
 //! Agrawal, Choudhary; IPPS 2014).
 //!
-//! This crate re-exports the four component crates under stable module
+//! This crate re-exports the five component crates under stable module
 //! names so applications need a single dependency:
 //!
-//! * [`image`] — binary/gray/RGB rasters, thresholding (`im2bw`), Netpbm I/O
+//! * [`image`] — binary/gray/RGB rasters, thresholding (`im2bw`), Netpbm
+//!   I/O (whole-buffer and incremental band decoding)
 //! * [`unionfind`] — REM's union-find with splicing plus every comparison
 //!   variant, and the parallel mergers
 //! * [`core`] — the labeling algorithms: CCLLRPC, CCLREMSP, ARUN, AREMSP
 //!   (sequential) and PAREMSP (parallel)
 //! * [`datasets`] — synthetic stand-ins for the paper's Aerial / Texture /
-//!   Miscellaneous / NLCD datasets, and the measurement harness
+//!   Miscellaneous / NLCD datasets (whole-image and streamed), and the
+//!   measurement harness
+//! * [`stream`] — bounded-memory streaming labeling: row-band sources,
+//!   the strip labeler with on-the-fly component analysis, and labeled
+//!   strip output — gigapixel rasters in O(band) memory
 //!
 //! ## Quickstart
 //!
@@ -39,6 +44,7 @@
 pub use ccl_core as core;
 pub use ccl_datasets as datasets;
 pub use ccl_image as image;
+pub use ccl_stream as stream;
 pub use ccl_unionfind as unionfind;
 
 /// The most commonly used items, re-exported flat.
@@ -59,4 +65,8 @@ pub mod prelude {
     pub use ccl_core::Algorithm;
     pub use ccl_image::threshold::im2bw;
     pub use ccl_image::{BinaryImage, Connectivity, GrayImage, RgbImage};
+    pub use ccl_stream::{
+        analyze_stream, label_stream, stream_to_label_image, ComponentRecord, ComponentSink,
+        MemorySource, RowSource, StreamStats, StripConfig, StripLabeler,
+    };
 }
