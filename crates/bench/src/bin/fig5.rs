@@ -54,6 +54,7 @@ fn main() {
         return;
     }
     let threads = args.threads.clone().unwrap_or(FIG5_THREADS.to_vec());
+    let merger = args.merger_or_default();
     print_table3(args.scale);
 
     let fam = nlcd(args.scale);
@@ -64,7 +65,7 @@ fn main() {
         eprintln!("measuring {} ({:.1} MB)…", img.name, img.size_mb());
         // phase-timed best-of-reps at each thread count
         let time_at = |t: usize| {
-            let cfg = ParemspConfig::with_threads(t).with_merger(args.merger.unwrap_or_default());
+            let cfg = ParemspConfig::with_threads(t).with_merger(merger);
             let best = paremsp_phase_ms_best_of(&img.image, &cfg, args.reps);
             (best.scan, best.local_plus_merge, best.total)
         };

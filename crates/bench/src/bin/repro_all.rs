@@ -1,9 +1,10 @@
 //! Runs the full reproduction sweep (Tables II–IV, Figures 4–5) plus the
-//! streaming demo in one process, and writes JSON results under
-//! `results/` — including two trajectory snapshots the repo tracks
+//! streaming and tile-grid demos in one process, and writes JSON results
+//! under `results/` — including the trajectory snapshots the repo tracks
 //! across commits: `BENCH_paremsp.json` (PAREMSP phase-timed thread
-//! sweep) and `BENCH_stream.json` (bounded-memory streaming throughput,
-//! written by the `stream_demo` child).
+//! sweep), `BENCH_stream.json` / `BENCH_tiles.json` (bounded-memory
+//! out-of-core throughput, written by the demo children) and the
+//! append-only `BENCH_HISTORY.jsonl` line log behind all of them.
 //!
 //! ```text
 //! cargo run --release -p ccl-bench --bin repro_all [--scale F] [--reps N]
@@ -88,6 +89,7 @@ fn main() {
             false,
             "results/BENCH_stream.json".to_string(),
         ),
+        ("tiles_demo", false, "results/BENCH_tiles.json".to_string()),
     ] {
         let mut cmd = Command::new(bindir.join(bin));
         cmd.arg("--reps").arg(&reps);
@@ -112,6 +114,7 @@ fn main() {
     println!("==> BENCH_paremsp.json (phase-timed thread sweep)");
     let snapshot = paremsp_snapshot(args.scale, args.reps);
     write_json("results/BENCH_paremsp.json", &snapshot).expect("write BENCH_paremsp.json");
+    ccl_bench::append_history("repro_all/paremsp", &snapshot).expect("append history");
     println!(
         "  {} ({:.1} Mpixel): 1t {:.1} ms -> 24t {:.1} ms",
         snapshot.image,

@@ -32,6 +32,7 @@ struct FamilyResult {
 fn main() {
     let args = BinArgs::parse(USAGE);
     let threads = args.threads.clone().unwrap_or(TABLE4_THREADS.to_vec());
+    let merger = args.merger_or_default();
     let mut families = small_families();
     families.push(nlcd(args.scale));
 
@@ -56,8 +57,7 @@ fn main() {
         let mut per_thread: Vec<Vec<f64>> = vec![Vec::new(); threads.len()];
         for img in &family.images {
             for (ti, &t) in threads.iter().enumerate() {
-                let cfg =
-                    ParemspConfig::with_threads(t).with_merger(args.merger.unwrap_or_default());
+                let cfg = ParemspConfig::with_threads(t).with_merger(merger);
                 let ms = time_best_of(args.reps, || paremsp_with(&img.image, &cfg));
                 per_thread[ti].push(ms);
             }

@@ -1,18 +1,21 @@
-//! Streaming demo — flat labeler memory vs image height.
+//! Tile-grid demo — 2-D out-of-core labeling throughput and memory.
 //!
-//! Streams Bernoulli-noise rasters of growing height (fixed width, fixed
-//! band height) through the `ccl-stream` strip labeler and reports wall
+//! Streams Bernoulli-noise rasters of growing height through the
+//! `ccl-tiles` grid labeler (generator → tile windows → per-tile RemSP →
+//! dual-orientation seam merges → on-the-fly analysis) and reports wall
 //! time, throughput, component count and the labeler's peak resident
-//! rows: the resident fraction shrinks as the image grows while
-//! throughput stays flat — the bounded-memory claim, measured.
+//! rows — at most one tile row plus the carry row, however tall the
+//! image grows. A final column times the fully out-of-core pipeline
+//! (labels *spilled to disk* as raw `u32` tiles with a sidecar merge
+//! table, patched on close) at the smallest height.
 //!
-//! Timings include row generation (the stream is produced on the fly and
-//! never materialized), so the metric is end-to-end pipeline throughput —
-//! stable across runs and comparable across commits via the JSON
-//! snapshot (`results/BENCH_stream.json` by default).
+//! Timings include row generation, so the metric is end-to-end pipeline
+//! throughput, comparable across commits via the JSON snapshot
+//! (`results/BENCH_tiles.json`) and the committed history line
+//! (`results/BENCH_HISTORY.jsonl`).
 //!
 //! ```text
-//! cargo run --release -p ccl-bench --bin stream_demo \
+//! cargo run --release -p ccl-bench --bin tiles_demo \
 //!     [--reps N] [--threads CSV] [--merger locked|cas] [--json PATH]
 //! ```
 
@@ -20,44 +23,50 @@ use ccl_bench::BinArgs;
 use ccl_datasets::harness::time_best_of;
 use ccl_datasets::report::{write_json, Table};
 use ccl_datasets::synth::stream::bernoulli_stream;
-use ccl_stream::{label_stream, CountComponents, StripConfig};
+use ccl_stream::CountComponents;
+use ccl_tiles::{label_tiles, spill_tiles, GridSource, SpillFormat, TileGridConfig};
 use serde::Serialize;
 
-const USAGE: &str = "stream_demo: bounded-memory streaming throughput vs image height
+const USAGE: &str = "tiles_demo: 2-D tile-grid out-of-core labeling throughput vs image height
   --reps N         repetitions per cell (default 3)
-  --threads CSV    in-band scan thread counts (default 1,4)
+  --threads CSV    in-row scan thread counts (default 1,4)
   --merger KIND    boundary merger for parallel mode: locked (default) or cas
-  --json PATH      snapshot path (default results/BENCH_stream.json)";
+  --json PATH      snapshot path (default results/BENCH_tiles.json)";
 
 const WIDTH: usize = 1024;
-const BAND_ROWS: usize = 1024;
-const HEIGHTS: [usize; 3] = [8_192, 32_768, 131_072];
+const TILE: usize = 256;
+const HEIGHTS: [usize; 3] = [4_096, 16_384, 65_536];
 const DENSITY: f64 = 0.5;
 
 #[derive(Serialize)]
-struct StreamRow {
+struct TilesRow {
     height: usize,
     megapixels: f64,
     components: u64,
     peak_resident_rows: usize,
     /// Peak resident rows as a fraction of the image height — the
-    /// bounded-memory signal (halves every time the height doubles).
+    /// bounded-memory signal (quarters every time the height quadruples).
     resident_fraction: f64,
     /// Best-of wall milliseconds per thread count, `threads` order.
     ms: Vec<f64>,
-    /// End-to-end throughput (generate + label + analyze) at the best
-    /// thread count, megapixels per second.
+    /// End-to-end throughput (generate + tile + label + analyze) at the
+    /// best thread count, megapixels per second.
     best_mpix_per_s: f64,
 }
 
 #[derive(Serialize)]
-struct StreamBench {
+struct TilesBench {
     width: usize,
-    band_rows: usize,
+    tile: usize,
     density: f64,
     threads: Vec<usize>,
     merger: String,
-    rows: Vec<StreamRow>,
+    rows: Vec<TilesRow>,
+    /// Wall milliseconds of the fully out-of-core pipeline (label +
+    /// spill raw-u32 tiles to disk + patch on close) at the smallest
+    /// height, sequential mode.
+    spill_ms: f64,
+    spill_height: usize,
 }
 
 fn main() {
@@ -67,10 +76,10 @@ fn main() {
     let json_path = args
         .json
         .clone()
-        .unwrap_or_else(|| "results/BENCH_stream.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_tiles.json".to_string());
 
     println!(
-        "Streaming {WIDTH}-wide Bernoulli rasters in {BAND_ROWS}-row bands \
+        "Tiling {WIDTH}-wide Bernoulli rasters into {TILE}x{TILE} tiles \
          (density {DENSITY}, merger {merger})\n"
     );
     let mut table = Table::new(
@@ -95,11 +104,12 @@ fn main() {
         let mut components = 0u64;
         let mut peak = 0usize;
         for &t in &threads {
-            let cfg = StripConfig::parallel(t).with_merger(merger);
+            let cfg = TileGridConfig::parallel(t).with_merger(merger);
             let best = time_best_of(args.reps, || {
-                let mut source = bernoulli_stream(WIDTH, height, DENSITY, height as u64);
+                let source = bernoulli_stream(WIDTH, height, DENSITY, height as u64);
+                let mut grid = GridSource::new(source, TILE, TILE);
                 let mut sink = CountComponents::default();
-                let stats = label_stream(&mut source, BAND_ROWS, cfg.clone(), &mut sink)
+                let stats = label_tiles(&mut grid, cfg.clone(), &mut sink)
                     .expect("generator streams are infallible");
                 components = stats.components;
                 peak = stats.peak_resident_rows;
@@ -108,7 +118,7 @@ fn main() {
             ms.push(best);
         }
         let best_ms = ms.iter().cloned().fold(f64::INFINITY, f64::min);
-        let row = StreamRow {
+        let row = TilesRow {
             height,
             megapixels: mpix,
             components,
@@ -134,23 +144,49 @@ fn main() {
     }
     println!("{}", table.render());
     println!(
-        "Resident rows stay at {} (band + carry row) at every height: \
-         labeling memory is O(band), not O(image).",
-        BAND_ROWS + 1
+        "Resident rows stay at {} (tile row + carry row) at every height: \
+         labeling memory is O(tile row), not O(image).",
+        TILE + 1
     );
 
-    let result = StreamBench {
+    // The fully out-of-core pipeline: spill labeled tiles to disk and
+    // patch final ids on close.
+    let spill_height = HEIGHTS[0];
+    let spill_dir = ccl_tiles::temp_spill_dir("demo");
+    let spill_ms = time_best_of(args.reps, || {
+        let _ = std::fs::remove_dir_all(&spill_dir);
+        let source = bernoulli_stream(WIDTH, spill_height, DENSITY, spill_height as u64);
+        let mut grid = GridSource::new(source, TILE, TILE);
+        spill_tiles(
+            &mut grid,
+            TileGridConfig::default(),
+            &spill_dir,
+            SpillFormat::RawU32,
+        )
+        .expect("spill to temp dir")
+    });
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let spill_mpix = (WIDTH * spill_height) as f64 / 1e6;
+    println!(
+        "\nOut-of-core output: label + spill + patch {spill_mpix:.1} Mpixel \
+         in {spill_ms:.1} ms ({:.1} Mpx/s incl. disk)",
+        spill_mpix / (spill_ms / 1e3)
+    );
+
+    let result = TilesBench {
         width: WIDTH,
-        band_rows: BAND_ROWS,
+        tile: TILE,
         density: DENSITY,
         threads,
         merger: merger.to_string(),
         rows,
+        spill_ms,
+        spill_height,
     };
     if let Some(dir) = std::path::Path::new(&json_path).parent() {
         std::fs::create_dir_all(dir).expect("create results dir");
     }
     write_json(&json_path, &result).expect("write json");
-    ccl_bench::append_history("stream_demo", &result).expect("append history");
+    ccl_bench::append_history("tiles_demo", &result).expect("append history");
     eprintln!("wrote {json_path} (+ {})", ccl_bench::HISTORY_PATH);
 }

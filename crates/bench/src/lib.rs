@@ -118,6 +118,14 @@ impl Default for BinArgs {
 }
 
 impl BinArgs {
+    /// The boundary merger to use: the `--merger` override when given,
+    /// otherwise the default. Shared by every binary that sweeps PAREMSP
+    /// (`table4`, `fig5`, `stream_demo`, `tiles_demo`) so the flag's
+    /// semantics exist exactly once.
+    pub fn merger_or_default(&self) -> ccl_core::par::MergerKind {
+        self.merger.unwrap_or_default()
+    }
+
     /// Parses `std::env::args`, printing `usage` and exiting on `--help`
     /// or a malformed argument.
     pub fn parse(usage: &str) -> BinArgs {
@@ -179,6 +187,65 @@ impl BinArgs {
     }
 }
 
+/// Path of the committed perf-trajectory log appended by `repro_all`,
+/// `stream_demo` and `tiles_demo`: one JSON object per line, so
+/// regressions are visible across commits (`git log -p results/…`) and
+/// CI uploads the whole `results/` directory as an artifact.
+pub const HISTORY_PATH: &str = "results/BENCH_HISTORY.jsonl";
+
+/// Appends one record to [`HISTORY_PATH`]:
+/// `{"bench": <name>, "unix_ms": <now>, "data": <value>}` on a single
+/// line. Creates `results/` when missing.
+pub fn append_history<T: serde::Serialize>(bench: &str, value: &T) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let to_io = |e: serde_json::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis());
+    // the name goes through the serializer too, so quotes/backslashes in
+    // a future bench name can never corrupt the line log
+    let name = serde_json::to_string_pretty(&bench).map_err(to_io)?;
+    let data = serde_json::to_string_pretty(value).map_err(to_io)?;
+    let line = format!(
+        "{{\"bench\": {name}, \"unix_ms\": {unix_ms}, \"data\": {}}}\n",
+        compact_json(&data)
+    );
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::options()
+        .create(true)
+        .append(true)
+        .open(HISTORY_PATH)?;
+    f.write_all(line.as_bytes())
+}
+
+/// Collapses pretty-printed JSON to one line by dropping all whitespace
+/// outside string literals (JSON whitespace is insignificant there). The
+/// offline `serde_json` shim only pretty-prints; this keeps the history
+/// file one-record-per-line regardless.
+pub fn compact_json(pretty: &str) -> String {
+    let mut out = String::with_capacity(pretty.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for ch in pretty.chars() {
+        if in_string {
+            out.push(ch);
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_string = false;
+            }
+        } else if ch == '"' {
+            in_string = true;
+            out.push(ch);
+        } else if !ch.is_whitespace() {
+            out.push(ch);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +265,36 @@ mod tests {
         assert_eq!(TABLE4_THREADS, [2, 6, 16, 24]);
         assert_eq!(FIG4_THREADS, [2, 6, 8, 16, 24]);
         assert!(FIG5_THREADS.contains(&24));
+    }
+
+    #[test]
+    fn merger_or_default_prefers_override() {
+        use ccl_core::par::MergerKind;
+        let mut a = BinArgs::default();
+        assert_eq!(a.merger_or_default(), MergerKind::default());
+        a.merger = Some(MergerKind::Cas);
+        assert_eq!(a.merger_or_default(), MergerKind::Cas);
+    }
+
+    #[test]
+    fn compact_json_strips_formatting_but_not_strings() {
+        let pretty = "{\n  \"a b\": [\n    1,\n    \"x \\\" y\\n\"\n  ]\n}";
+        assert_eq!(compact_json(pretty), "{\"a b\":[1,\"x \\\" y\\n\"]}");
+    }
+
+    #[test]
+    fn compact_json_round_trips_serializer_output() {
+        #[derive(serde::Serialize)]
+        struct S {
+            name: String,
+            xs: Vec<f64>,
+        }
+        let s = S {
+            name: "two words".into(),
+            xs: vec![1.5, 2.0],
+        };
+        let compact = compact_json(&serde_json::to_string_pretty(&s).unwrap());
+        assert!(!compact.contains('\n'));
+        assert!(compact.contains("\"two words\""));
     }
 }

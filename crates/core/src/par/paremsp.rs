@@ -64,11 +64,19 @@ impl std::str::FromStr for MergerKind {
     type Err = String;
 
     /// Parses the [`Display`](std::fmt::Display) names (case-insensitive).
+    /// The error message enumerates every valid variant, generated from
+    /// [`MergerKind::ALL`] so it can never drift from the enum.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "locked" | "lock" => Ok(MergerKind::Locked),
             "cas" => Ok(MergerKind::Cas),
-            other => Err(format!("unknown merger {other:?} (expected locked|cas)")),
+            other => {
+                let valid: Vec<String> = MergerKind::ALL.iter().map(ToString::to_string).collect();
+                Err(format!(
+                    "unknown merger {other:?} (valid values: {})",
+                    valid.join(", ")
+                ))
+            }
         }
     }
 }
@@ -455,7 +463,13 @@ mod tests {
         }
         assert_eq!("LOCKED".parse::<MergerKind>().unwrap(), MergerKind::Locked);
         assert_eq!("Cas".parse::<MergerKind>().unwrap(), MergerKind::Cas);
-        assert!("spinlock".parse::<MergerKind>().is_err());
+        let err = "spinlock".parse::<MergerKind>().unwrap_err();
+        for kind in MergerKind::ALL {
+            assert!(
+                err.contains(&kind.to_string()),
+                "error must list {kind}: {err}"
+            );
+        }
     }
 
     #[test]

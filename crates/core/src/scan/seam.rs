@@ -1,15 +1,62 @@
-//! Seam merging — reconnecting two row-adjacent label buffers.
+//! Seam merging — reconnecting two adjacent label buffers.
 //!
 //! This is the paper's Algorithm 7 lines 13–20, factored out of PAREMSP so
-//! that any consumer holding the labels of two vertically adjacent rows can
-//! restore 8-connectivity across them: the parallel chunk-boundary MERGER
-//! phase (every boundary row in parallel) and the `ccl-stream` strip
-//! labeler (one seam per band, applied sequentially as bands arrive).
+//! that any consumer holding the labels of two adjacent lines can restore
+//! 8-connectivity across them: the parallel chunk-boundary MERGER phase
+//! (every boundary row in parallel), the `ccl-stream` strip labeler (one
+//! seam per band, split into column segments in parallel mode), and the
+//! `ccl-tiles` grid labeler (vertical seams between horizontally adjacent
+//! tiles, walked as strided columns).
 //!
-//! The rows may come from *different* label buffers — all that matters is
-//! that both rows' labels live in one equivalence store.
+//! The lines may come from *different* label buffers — all that matters is
+//! that both lines' labels live in one equivalence store. The same logic
+//! serves rows and columns: a vertical seam between a left and a right
+//! buffer is a row seam on the transposed image, which is exactly what the
+//! strided form walks without materializing the transpose.
+
+use std::ops::Range;
 
 use ccl_unionfind::EquivalenceStore;
+
+/// The seam body shared by every entry point: merges element `i` of `cur`
+/// with elements `i-1`, `i`, `i+1` of `up` under 8-connectivity, for `i`
+/// in `span` (neighbour probes reach outside `span` but stay in
+/// `0..len`). The direct neighbour `up(i)` subsumes both diagonals when
+/// present; otherwise the two diagonals are merged individually
+/// (Algorithm 7 lines 13–20).
+#[inline]
+fn seam_core<S: EquivalenceStore>(
+    up: impl Fn(usize) -> u32,
+    cur: impl Fn(usize) -> u32,
+    len: usize,
+    span: Range<usize>,
+    store: &mut S,
+) {
+    debug_assert!(span.end <= len);
+    for c in span {
+        let le = cur(c);
+        if le == 0 {
+            continue;
+        }
+        let lb = up(c);
+        if lb != 0 {
+            store.merge(le, lb);
+        } else {
+            if c > 0 {
+                let la = up(c - 1);
+                if la != 0 {
+                    store.merge(le, la);
+                }
+            }
+            if c + 1 < len {
+                let lc = up(c + 1);
+                if lc != 0 {
+                    store.merge(le, lc);
+                }
+            }
+        }
+    }
+}
 
 /// Merges the labels of a row (`cur`) with the row directly above it
 /// (`up`) under 8-connectivity: for each foreground pixel of `cur`, the
@@ -25,29 +72,86 @@ use ccl_unionfind::EquivalenceStore;
 pub fn merge_seam<S: EquivalenceStore>(up: &[u32], cur: &[u32], store: &mut S) {
     assert_eq!(up.len(), cur.len(), "seam rows differ in width");
     let w = cur.len();
-    for c in 0..w {
-        let le = cur[c];
-        if le == 0 {
-            continue;
-        }
-        let lb = up[c];
-        if lb != 0 {
-            store.merge(le, lb);
-        } else {
-            if c > 0 {
-                let la = up[c - 1];
-                if la != 0 {
-                    store.merge(le, la);
-                }
-            }
-            if c + 1 < w {
-                let lc = up[c + 1];
-                if lc != 0 {
-                    store.merge(le, lc);
-                }
-            }
-        }
+    seam_core(|i| up[i], |i| cur[i], w, 0..w, store);
+}
+
+/// [`merge_seam`] restricted to the columns in `span`: only `cur[span]`
+/// pixels are merged, but their diagonal probes read the *full* `up` row,
+/// so a seam partitioned into disjoint spans merges exactly the same
+/// pairs as one whole-row call — the building block for parallelizing a
+/// single wide seam across threads (`ccl-stream`'s inter-band seam).
+///
+/// # Panics
+/// Panics when the rows differ in length or `span` exceeds it.
+pub fn merge_seam_span<S: EquivalenceStore>(
+    up: &[u32],
+    cur: &[u32],
+    span: Range<usize>,
+    store: &mut S,
+) {
+    assert_eq!(up.len(), cur.len(), "seam rows differ in width");
+    assert!(span.end <= cur.len(), "span exceeds seam width");
+    seam_core(|i| up[i], |i| cur[i], cur.len(), span, store);
+}
+
+/// Splits `0..len` into at most `parts` contiguous, non-empty,
+/// near-equal spans (the first spans one element longer) — the standard
+/// partition for fanning a seam ([`merge_seam_span`]), a compaction pass
+/// or a tile run out across workers. Returns no spans when `len` is 0.
+pub fn split_spans(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
     }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let n = base + usize::from(i < extra);
+        out.push(start..start + n);
+        start += n;
+    }
+    out
+}
+
+/// The column-capable (strided) seam: element `i` of each line is
+/// `line[i * stride]`, so two *vertically adjacent columns* of row-major
+/// label buffers — e.g. the right edge of one tile and the left edge of
+/// the next — merge without materializing a transpose. Equivalent to
+/// transposing both buffers and calling [`merge_seam`] on the resulting
+/// rows (property-tested in `tests/proptest_seam.rs`).
+///
+/// `up` is the earlier line (left column for a vertical seam), `cur` the
+/// later one; `len` elements are walked from each. The strides may differ
+/// (tiles of different widths).
+///
+/// # Panics
+/// Panics when either slice is too short for `len` elements at its
+/// stride, or a stride is 0.
+pub fn merge_seam_strided<S: EquivalenceStore>(
+    up: &[u32],
+    up_stride: usize,
+    cur: &[u32],
+    cur_stride: usize,
+    len: usize,
+    store: &mut S,
+) {
+    assert!(up_stride > 0 && cur_stride > 0, "strides must be positive");
+    if len == 0 {
+        return;
+    }
+    assert!(
+        up.len() > (len - 1) * up_stride && cur.len() > (len - 1) * cur_stride,
+        "strided seam out of bounds"
+    );
+    seam_core(
+        |i| up[i * up_stride],
+        |i| cur[i * cur_stride],
+        len,
+        0..len,
+        store,
+    );
 }
 
 #[cfg(test)]
@@ -113,5 +217,91 @@ mod tests {
     fn mismatched_widths_panic() {
         let mut s = store_with(1);
         merge_seam(&[0, 0], &[0], &mut s);
+    }
+
+    #[test]
+    fn span_merges_only_its_columns_but_probes_full_row() {
+        // cur[2] sits in the span; its left diagonal up[1] lies outside it.
+        let mut s = store_with(2);
+        merge_seam_span(&[0, 1, 0, 0], &[0, 0, 2, 0], 2..4, &mut s);
+        assert!(s.same(1, 2));
+        // cur[1] outside the span: untouched even though up[1] is live
+        let mut s = store_with(2);
+        merge_seam_span(&[0, 1, 0, 0], &[0, 2, 0, 0], 2..4, &mut s);
+        assert!(!s.same(1, 2));
+    }
+
+    #[test]
+    fn partitioned_spans_equal_whole_row() {
+        let up = [1, 0, 2, 0, 3, 3, 0, 4];
+        let cur = [0, 5, 0, 6, 0, 7, 8, 0];
+        let mut whole = store_with(8);
+        merge_seam(&up, &cur, &mut whole);
+        let mut split = store_with(8);
+        for span in [0..3, 3..5, 5..8] {
+            merge_seam_span(&up, &cur, span, &mut split);
+        }
+        for x in 1..=8 {
+            for y in 1..=8 {
+                assert_eq!(whole.same(x, y), split.same(x, y), "({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_column_seam_connects_across_buffers() {
+        // Left buffer 2 wide, right buffer 3 wide, 3 elements tall. The
+        // left tile's right column [1, 0, 2] meets the right tile's left
+        // column [0, 3, 0]: 3 takes both diagonals.
+        let left = [0, 1, 0, 0, 0, 2];
+        let right = [0, 9, 9, 3, 9, 9, 0, 9, 9];
+        let mut s = store_with(9);
+        merge_seam_strided(&left[1..], 2, &right, 3, 3, &mut s);
+        assert!(s.same(3, 1));
+        assert!(s.same(3, 2));
+        assert!(!s.same(3, 9));
+    }
+
+    #[test]
+    fn strided_direct_neighbour_subsumes_diagonals() {
+        // column form of `b_subsumes_diagonals`
+        let left = [1, 2, 3];
+        let right = [0, 4, 0];
+        let mut s = store_with(4);
+        merge_seam_strided(&left, 1, &right, 1, 3, &mut s);
+        assert!(s.same(4, 2));
+        assert!(!s.same(4, 1));
+        assert!(!s.same(4, 3));
+    }
+
+    #[test]
+    fn split_spans_cover_exactly_without_empties() {
+        assert!(split_spans(0, 4).is_empty());
+        assert_eq!(split_spans(3, 8), vec![0..1, 1..2, 2..3]);
+        assert_eq!(split_spans(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(split_spans(5, 1), vec![0..5]);
+        for len in 0..40 {
+            for parts in [1, 2, 3, 7, 64] {
+                let spans = split_spans(len, parts);
+                assert!(spans.iter().all(|s| !s.is_empty()));
+                assert_eq!(spans.iter().map(ExactSizeIterator::len).sum::<usize>(), len);
+                for pair in spans.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_zero_len_is_noop() {
+        let mut s = store_with(1);
+        merge_seam_strided(&[], 3, &[], 2, 0, &mut s);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn strided_bounds_are_checked() {
+        let mut s = store_with(1);
+        merge_seam_strided(&[0, 0], 2, &[0, 0, 0], 2, 2, &mut s);
     }
 }

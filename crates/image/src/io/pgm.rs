@@ -1,5 +1,7 @@
 //! PGM (portable graymap) read/write, formats `P2` (ASCII) and `P5`
-//! (binary), maxval ≤ 255.
+//! (binary), maxval ≤ 255 — plus the 16-bit `P5` form (maxval 65535,
+//! two big-endian bytes per sample) used by the `ccl-tiles` label spill
+//! writer as a portable alternative to raw `u32` tiles.
 
 use crate::error::ImageError;
 use crate::gray::GrayImage;
@@ -30,6 +32,63 @@ pub fn write_binary(img: &GrayImage) -> Vec<u8> {
     out.extend_from_slice(format!("P5\n{} {}\n255\n", img.width(), img.height()).as_bytes());
     out.extend_from_slice(img.as_slice());
     out
+}
+
+/// Serializes 16-bit samples to binary PGM (`P5`) with maxval 65535.
+/// Per the Netpbm specification, each sample is two bytes, most
+/// significant first. The sample buffer is row-major, `width * height`
+/// entries.
+///
+/// # Panics
+/// Panics when the buffer length does not equal `width * height`.
+pub fn write_binary16(width: usize, height: usize, samples: &[u16]) -> Vec<u8> {
+    assert_eq!(
+        samples.len(),
+        width.checked_mul(height).expect("dimensions overflow"),
+        "sample buffer size mismatch"
+    );
+    let mut out = Vec::with_capacity(samples.len() * 2 + 32);
+    out.extend_from_slice(format!("P5\n{width} {height}\n65535\n").as_bytes());
+    for &s in samples {
+        out.extend_from_slice(&s.to_be_bytes());
+    }
+    out
+}
+
+/// Parses a 16-bit binary PGM (`P5`, maxval in `256..=65535`) into its
+/// dimensions and row-major samples. Samples are returned as stored —
+/// *not* rescaled to the maxval — because the consumer here (`ccl-tiles`)
+/// stores discrete labels, not luminance.
+pub fn read_binary16(data: &[u8]) -> Result<(usize, usize, Vec<u16>), ImageError> {
+    let mut pos = 0usize;
+    let magic = next_token(data, &mut pos)?;
+    if magic != b"P5" {
+        return Err(ImageError::Parse(format!(
+            "not a binary PGM stream (magic {:?})",
+            String::from_utf8_lossy(magic)
+        )));
+    }
+    let width = next_usize(data, &mut pos)?;
+    let height = next_usize(data, &mut pos)?;
+    let maxval = next_usize(data, &mut pos)?;
+    if !(256..=65535).contains(&maxval) {
+        return Err(ImageError::Parse(format!(
+            "16-bit PGM requires maxval in 256..=65535, got {maxval}"
+        )));
+    }
+    expect_single_whitespace(data, &mut pos)?;
+    let need = width
+        .checked_mul(height)
+        .and_then(|n| n.checked_mul(2))
+        .ok_or_else(|| ImageError::Parse("image dimensions overflow".into()))?;
+    if data.len() - pos < need {
+        return Err(ImageError::Parse("truncated 16-bit P5 sample data".into()));
+    }
+    let samples: Vec<u16> = data[pos..pos + need]
+        .chunks_exact(2)
+        .map(|b| u16::from_be_bytes([b[0], b[1]]))
+        .collect();
+    Ok((width, height, samples))
 }
 
 /// Parses either PGM format, dispatching on the magic number.
@@ -144,5 +203,33 @@ mod tests {
     #[test]
     fn rejects_truncated_binary() {
         assert!(read(b"P5\n3 3\n255\n\x01\x02").is_err());
+    }
+
+    #[test]
+    fn binary16_round_trip() {
+        let samples: Vec<u16> = vec![0, 1, 255, 256, 40_000, u16::MAX];
+        let bytes = write_binary16(3, 2, &samples);
+        let (w, h, back) = read_binary16(&bytes).unwrap();
+        assert_eq!((w, h), (3, 2));
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn binary16_samples_are_big_endian() {
+        let bytes = write_binary16(1, 1, &[0x1234]);
+        assert_eq!(&bytes[bytes.len() - 2..], &[0x12, 0x34]);
+    }
+
+    #[test]
+    fn binary16_rejects_eight_bit_maxval_and_truncation() {
+        assert!(read_binary16(b"P5\n1 1\n255\n\x00\x00").is_err());
+        assert!(read_binary16(b"P5\n2 1\n65535\n\x00\x00\x01").is_err());
+        assert!(read_binary16(b"P2\n1 1\n65535\n0\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn binary16_rejects_short_buffer() {
+        write_binary16(2, 2, &[0, 1, 2]);
     }
 }

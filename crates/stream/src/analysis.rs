@@ -2,9 +2,10 @@
 //!
 //! Following Lemaitre & Lacassagne's run-based analysis (PAPERS.md), the
 //! strip labeler never materializes a label image: every component's
-//! features (area, bounding box, centroid, raster-first anchor) are
-//! accumulated while its pixels stream past and emitted exactly once,
-//! when the component *closes* (no pixel on the stream's frontier row).
+//! features (area, bounding box, centroid, raster-first anchor,
+//! 4-neighbourhood perimeter) are accumulated while its pixels stream
+//! past and emitted exactly once, when the component *closes* (no pixel
+//! on the stream's frontier row).
 //!
 //! Consumers implement [`ComponentSink`] (and optionally [`LabelSink`]
 //! for labeled strip output); `Vec<ComponentRecord>` works out of the box
@@ -32,25 +33,48 @@ pub struct ComponentRecord {
     /// Raster-first pixel `(row, col)` — a stable key for matching
     /// components across labelers (no two components share an anchor).
     pub anchor: (usize, usize),
+    /// 4-neighbourhood boundary length: the number of pixel edges shared
+    /// with background or the image border (Lemaitre & Lacassagne's
+    /// on-the-fly perimeter). Folds across merges like area: each pixel
+    /// contributes `4 - 2 * (already-seen 4-adjacent neighbours)`, and
+    /// summing partial perimeters is exact because 4-adjacent pixels are
+    /// always in the same 8-connected component.
+    pub perimeter: u64,
 }
 
 /// Running accumulator behind a [`ComponentRecord`]. `area == 0` marks an
 /// unused slot.
+///
+/// Public because it is the reusable building block for any labeler with
+/// the "open components fold on merge" structure — the strip labeler here
+/// and the tile-grid labeler in `ccl-tiles` share it. Ordinary consumers
+/// only ever see the finished [`ComponentRecord`]s.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Accum {
+pub struct Accum {
+    /// Pixels accumulated so far (0 = unused slot).
     pub area: u64,
+    /// Bounding-box minimum row.
     pub min_r: usize,
+    /// Bounding-box minimum column.
     pub min_c: usize,
+    /// Bounding-box maximum row.
     pub max_r: usize,
+    /// Bounding-box maximum column.
     pub max_c: usize,
+    /// Row-coordinate sum (integer-valued in f64, exact below 2^53).
     pub sum_r: f64,
+    /// Column-coordinate sum.
     pub sum_c: f64,
+    /// Raster-first pixel seen so far.
     pub anchor: (usize, usize),
+    /// 4-neighbourhood boundary edges accumulated so far.
+    pub perimeter: u64,
     /// 0 until the component is assigned its [`ComponentId`].
     pub gid: u64,
 }
 
 impl Accum {
+    /// The unused-slot sentinel (`area == 0`).
     pub const EMPTY: Accum = Accum {
         area: 0,
         min_r: 0,
@@ -60,10 +84,13 @@ impl Accum {
         sum_r: 0.0,
         sum_c: 0.0,
         anchor: (0, 0),
+        perimeter: 0,
         gid: 0,
     };
 
-    /// Accumulator holding one pixel.
+    /// Accumulator holding one pixel. A component's first pixel (in
+    /// raster order) never has an already-seen 4-neighbour, so it
+    /// contributes the full 4 edges.
     #[inline]
     pub fn first(r: usize, c: usize) -> Accum {
         Accum {
@@ -75,14 +102,18 @@ impl Accum {
             sum_r: r as f64,
             sum_c: c as f64,
             anchor: (r, c),
+            perimeter: 4,
             gid: 0,
         }
     }
 
     /// Adds one pixel. Pixels arrive in raster order, so the anchor never
-    /// moves.
+    /// moves. `adjacent` is the number of already-scanned foreground
+    /// 4-neighbours (west and north, so 0..=2): each shared edge removes
+    /// one boundary edge from *both* endpoints.
     #[inline]
-    pub fn add(&mut self, r: usize, c: usize) {
+    pub fn add(&mut self, r: usize, c: usize, adjacent: u64) {
+        debug_assert!(adjacent <= 2);
         self.area += 1;
         self.min_r = self.min_r.min(r);
         self.min_c = self.min_c.min(c);
@@ -90,11 +121,14 @@ impl Accum {
         self.max_c = self.max_c.max(c);
         self.sum_r += r as f64;
         self.sum_c += c as f64;
+        self.perimeter += 4 - 2 * adjacent;
     }
 
     /// Folds another accumulator in (two open components discovered to be
     /// one). Keeps the raster-smaller anchor; the caller resolves the
-    /// surviving `gid`.
+    /// surviving `gid`. Perimeters sum exactly: merged components connect
+    /// only through pixels not yet accumulated (the pixel that joins them
+    /// subtracts the shared edges when *it* is added).
     pub fn merge_with(&mut self, other: &Accum) {
         self.area += other.area;
         self.min_r = self.min_r.min(other.min_r);
@@ -104,6 +138,7 @@ impl Accum {
         self.sum_r += other.sum_r;
         self.sum_c += other.sum_c;
         self.anchor = self.anchor.min(other.anchor);
+        self.perimeter += other.perimeter;
     }
 
     /// Finishes the accumulator into an emitted record.
@@ -115,6 +150,7 @@ impl Accum {
             bbox: (self.min_r, self.min_c, self.max_r, self.max_c),
             centroid: (self.sum_r / self.area as f64, self.sum_c / self.area as f64),
             anchor: self.anchor,
+            perimeter: self.perimeter,
         }
     }
 }
@@ -233,27 +269,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn accum_tracks_bbox_centroid_anchor() {
+    fn accum_tracks_bbox_centroid_anchor_perimeter() {
+        // L-tromino at (2,3) (2,4) (3,3): perimeter 8
         let mut a = Accum::first(2, 3);
-        a.add(2, 4);
-        a.add(3, 3);
+        a.add(2, 4, 1);
+        a.add(3, 3, 1);
         assert_eq!(a.area, 3);
         assert_eq!((a.min_r, a.min_c, a.max_r, a.max_c), (2, 3, 3, 4));
         assert_eq!(a.anchor, (2, 3));
+        assert_eq!(a.perimeter, 8);
         a.gid = 1;
         let rec = a.into_record();
         assert!((rec.centroid.0 - 7.0 / 3.0).abs() < 1e-12);
         assert!((rec.centroid.1 - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rec.perimeter, 8);
     }
 
     #[test]
-    fn merge_keeps_raster_smaller_anchor() {
+    fn merge_keeps_raster_smaller_anchor_and_sums_perimeter() {
         let mut a = Accum::first(5, 1);
         let b = Accum::first(2, 9);
         a.merge_with(&b);
         assert_eq!(a.anchor, (2, 9));
         assert_eq!(a.area, 2);
         assert_eq!((a.min_r, a.max_r), (2, 5));
+        assert_eq!(a.perimeter, 8);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! * one boundary row of labels (the **carry row**),
 //! * one [`Accum`](crate::analysis) per component still *open* on that
-//!   row (area, bbox, centroid sums, anchor, id),
+//!   row (area, bbox, centroid sums, anchor, perimeter, id),
 //!
 //! so the resident footprint is O(band + open components), independent of
 //! image height. Label slots are recycled: after each band, the provisional
@@ -23,7 +23,7 @@
 //! paths agree on.
 
 use ccl_core::par::MergerKind;
-use ccl_core::scan::{max_labels_two_line, merge_seam, scan_two_line};
+use ccl_core::scan::{max_labels_two_line, merge_seam, scan_two_line, split_spans};
 use ccl_image::BinaryImage;
 use ccl_unionfind::par::ConcurrentParents;
 use ccl_unionfind::{EquivalenceStore, RemSP, UnionFind};
@@ -91,18 +91,27 @@ pub struct StreamStats {
     pub peak_resident_rows: usize,
 }
 
-/// Post-scan view of one band's equivalences: sequential RemSP or the
-/// parallel shared parent array. Both are Rem-family (parents ≤ children),
-/// so `find` returns the set's minimum label in either case — the property
-/// the band-end bookkeeping relies on for mode-independent output.
-enum BandUf {
+/// Post-scan view of one band's (or tile row's) equivalences: sequential
+/// RemSP or the parallel shared parent array. Both are Rem-family
+/// (parents ≤ children), so [`BandUf::find`] returns the set's minimum
+/// label in either case — the property the end-of-band bookkeeping
+/// relies on for mode-independent output.
+///
+/// Public for the same reason as [`Accum`]: it is the mode-bridging
+/// building block shared by every labeler with the strip structure (the
+/// `ccl-tiles` grid labeler reuses it verbatim).
+pub enum BandUf {
+    /// Sequential mode: one RemSP store owns the whole label space.
     Seq(RemSP),
+    /// Parallel mode: the shared parent array the worker scans and
+    /// seam merges operated on (all workers joined).
     Par(ConcurrentParents),
 }
 
 impl BandUf {
+    /// Root (set minimum) of `x`'s equivalence class.
     #[inline]
-    fn find(&mut self, x: u32) -> u32 {
+    pub fn find(&mut self, x: u32) -> u32 {
         match self {
             BandUf::Seq(uf) => uf.find(x),
             BandUf::Par(p) => {
@@ -118,7 +127,8 @@ impl BandUf {
         }
     }
 
-    fn len(&self) -> usize {
+    /// Size of the underlying label slot space (registered or not).
+    pub fn slots(&self) -> usize {
         match self {
             BandUf::Seq(uf) => uf.len(),
             BandUf::Par(p) => p.capacity(),
@@ -294,7 +304,7 @@ impl StripLabeler {
         // Fold the carried accumulators onto their (possibly merged)
         // roots. Any set containing a carried id is rooted at a carried id
         // (Rem roots are set minima and carried ids occupy the low slots).
-        let nslots = uf.len();
+        let nslots = uf.slots();
         let mut acc = vec![Accum::EMPTY; nslots];
         let mut touched: Vec<u32> = Vec::new();
         let mut merges: Vec<(u64, u64)> = Vec::new();
@@ -339,13 +349,26 @@ impl StripLabeler {
             };
             let slot = &mut acc[root as usize];
             let (r, c) = (r0 + i / w, i % w);
+            // Already-seen 4-neighbours (west, north) for the perimeter
+            // fold; a first-row pixel's north neighbour is the carry row.
+            let west = c > 0 && labels[i - 1] != 0;
+            let north = if i >= w {
+                labels[i - w] != 0
+            } else {
+                !self.carry.is_empty() && self.carry[c] != 0
+            };
+            let adjacent = u64::from(west) + u64::from(north);
             if slot.area == 0 {
+                // A live 4-neighbour would share this pixel's root and
+                // have been accumulated already (raster order), so a
+                // fresh component's first pixel never has one.
+                debug_assert_eq!(adjacent, 0, "first pixel with live 4-neighbour");
                 *slot = Accum::first(r, c);
                 slot.gid = self.next_gid;
                 self.next_gid += 1;
                 touched.push(root);
             } else {
-                slot.add(r, c);
+                slot.add(r, c, adjacent);
             }
             if strips.is_some() {
                 strip_gids[i] = slot.gid;
@@ -354,21 +377,74 @@ impl StripLabeler {
 
         // Components with a pixel on the band's last row stay open:
         // compact them to active ids 1..=k and rebuild the carry row.
-        // Everything else has closed — no later row can reach it.
+        // Everything else has closed — no later row can reach it. Active
+        // ids are assigned in order of first occurrence on the row, so the
+        // parallel path below must reproduce that order exactly.
         let last = &labels[(h - 1) * w..];
         let mut new_active: Vec<Accum> = vec![Accum::EMPTY];
         let mut new_carry = vec![0u32; w];
         let mut survivor_id: Vec<u32> = vec![0; nslots];
-        for (c, &l) in last.iter().enumerate() {
-            if l == 0 {
-                continue;
+        if self.cfg.threads > 1 && w > 1 {
+            // Parallel compaction over column segments: each segment
+            // lists its first-seen roots in order (parallel), survivor
+            // ids are assigned walking the segments left to right
+            // (sequential, O(open components)), then the carry row is
+            // filled back in parallel. Identical output to the
+            // sequential path: a root's global first occurrence decides
+            // its rank in both.
+            let spans = split_spans(w, self.cfg.threads);
+            let mut firsts: Vec<Vec<u32>> = vec![Vec::new(); spans.len()];
+            rayon::scope(|s| {
+                for (out, span) in firsts.iter_mut().zip(&spans) {
+                    let root_of = &root_of;
+                    s.spawn(move |_| {
+                        let mut seen = std::collections::HashSet::new();
+                        for &l in &last[span.clone()] {
+                            if l == 0 {
+                                continue;
+                            }
+                            let root = root_of[l as usize];
+                            if seen.insert(root) {
+                                out.push(root);
+                            }
+                        }
+                    });
+                }
+            });
+            for root in firsts.into_iter().flatten() {
+                if survivor_id[root as usize] == 0 {
+                    new_active.push(acc[root as usize]);
+                    survivor_id[root as usize] = (new_active.len() - 1) as u32;
+                }
             }
-            let root = root_of[l as usize] as usize;
-            if survivor_id[root] == 0 {
-                new_active.push(acc[root]);
-                survivor_id[root] = (new_active.len() - 1) as u32;
+            rayon::scope(|s| {
+                let mut rest: &mut [u32] = &mut new_carry;
+                for span in &spans {
+                    let (mine, tail) = rest.split_at_mut(span.len());
+                    rest = tail;
+                    let survivor_id = &survivor_id;
+                    let root_of = &root_of;
+                    s.spawn(move |_| {
+                        for (&l, slot) in last[span.clone()].iter().zip(mine) {
+                            if l != 0 {
+                                *slot = survivor_id[root_of[l as usize] as usize];
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            for (c, &l) in last.iter().enumerate() {
+                if l == 0 {
+                    continue;
+                }
+                let root = root_of[l as usize] as usize;
+                if survivor_id[root] == 0 {
+                    new_active.push(acc[root]);
+                    survivor_id[root] = (new_active.len() - 1) as u32;
+                }
+                new_carry[c] = survivor_id[root];
             }
-            new_carry[c] = survivor_id[root];
         }
 
         let mut closed: Vec<Accum> = touched
@@ -638,6 +714,74 @@ mod tests {
         assert_eq!(sink[0].area, 6);
         let stats = labeler.finish(&mut sink);
         assert_eq!(stats.components, 1);
+    }
+
+    /// Brute-force 4-neighbourhood perimeter of the whole image's single
+    /// component set, keyed by anchor, for comparison with the streamed
+    /// fold.
+    fn brute_perimeters(img: &BinaryImage) -> std::collections::HashMap<(usize, usize), u64> {
+        let labels = ccl_core::seq::aremsp(img);
+        let mut per: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        let mut anchor: std::collections::HashMap<u32, (usize, usize)> =
+            std::collections::HashMap::new();
+        for r in 0..img.height() {
+            for c in 0..img.width() {
+                let l = labels.get(r, c);
+                if l == 0 {
+                    continue;
+                }
+                anchor.entry(l).or_insert((r, c));
+                let edges = [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)]
+                    .iter()
+                    .filter(|&&(dr, dc)| img.get_or_bg(r as isize + dr, c as isize + dc) == 0)
+                    .count() as u64;
+                *per.entry(l).or_insert(0) += edges;
+            }
+        }
+        per.into_iter().map(|(l, p)| (anchor[&l], p)).collect()
+    }
+
+    #[test]
+    fn perimeter_matches_brute_force_across_band_heights() {
+        let mut state = 41u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) & 3 != 0
+        };
+        let img = BinaryImage::from_fn(19, 27, |_, _| rnd());
+        let expected = brute_perimeters(&img);
+        for band_h in [1, 2, 3, 5, 9, 27] {
+            let (recs, _) = run_banded(&img, band_h, StripConfig::default());
+            assert_eq!(recs.len(), expected.len(), "band height {band_h}");
+            for rec in &recs {
+                assert_eq!(
+                    rec.perimeter, expected[&rec.anchor],
+                    "band height {band_h}, anchor {:?}",
+                    rec.anchor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perimeter_of_known_shapes() {
+        // 3x3 solid square: perimeter 12; plus ring with hole: the hole's
+        // inner edges count too.
+        let square = BinaryImage::parse("### ### ###");
+        let (recs, _) = run_banded(&square, 1, StripConfig::default());
+        assert_eq!(recs[0].perimeter, 12);
+        let ring = BinaryImage::parse(
+            "###
+             #.#
+             ###",
+        );
+        let (recs, _) = run_banded(&ring, 2, StripConfig::default());
+        assert_eq!(recs[0].perimeter, 12 + 4);
+        let lone = BinaryImage::parse("#");
+        let (recs, _) = run_banded(&lone, 1, StripConfig::default());
+        assert_eq!(recs[0].perimeter, 4);
     }
 
     #[test]

@@ -23,9 +23,10 @@
 //!   band ([`StripConfig::parallel`]), one carried boundary row per
 //!   seam, and label-slot recycling so closed components cost nothing;
 //! * [`ComponentRecord`] / [`ComponentSink`] — per-component area,
-//!   bounding box, centroid and raster anchor, emitted the moment a
-//!   component closes, **without ever materializing a label image**
-//!   (following Lemaitre & Lacassagne's on-the-fly analysis);
+//!   bounding box, centroid, raster anchor and 4-neighbourhood
+//!   perimeter, emitted the moment a component closes, **without ever
+//!   materializing a label image** (following Lemaitre & Lacassagne's
+//!   on-the-fly analysis);
 //! * [`LabelSink`] / [`stream_to_label_image`] — optional labeled-strip
 //!   output for callers who do want labels.
 //!
@@ -57,10 +58,11 @@ mod parallel;
 pub mod source;
 
 pub use analysis::{
-    CollectLabelImage, ComponentId, ComponentRecord, ComponentSink, CountComponents, LabelSink,
+    Accum, CollectLabelImage, ComponentId, ComponentRecord, ComponentSink, CountComponents,
+    LabelSink,
 };
 pub use driver::{analyze_stream, label_stream, stream_to_label_image};
 pub use error::StreamError;
-pub use labeler::{StreamStats, StripConfig, StripLabeler};
+pub use labeler::{BandUf, StreamStats, StripConfig, StripLabeler};
 pub use netpbm::{PbmSource, PgmSource};
 pub use source::{MemorySource, RowSource};

@@ -6,11 +6,12 @@
 //! array whose low slots `1..=n_carry` hold the carried inter-band labels.
 //! Chunk-boundary rows merge in parallel with the configured MERGER
 //! (Algorithm 8 or its CAS variant), then the band's first row merges
-//! sequentially against the carried boundary row — the same seam logic
-//! ([`merge_seam`]) throughout.
+//! against the carried boundary row, split into column spans across the
+//! same workers — the same seam logic ([`merge_seam`] /
+//! [`merge_seam_span`]) throughout.
 
 use ccl_core::par::MergerStore;
-use ccl_core::scan::{merge_seam, scan_two_line};
+use ccl_core::scan::{merge_seam, merge_seam_span, scan_two_line, split_spans};
 use ccl_image::BinaryImage;
 use ccl_unionfind::par::{CasMerger, ConcurrentMerger, ConcurrentParents, LockedMerger};
 use ccl_unionfind::EquivalenceStore;
@@ -105,10 +106,27 @@ fn scan_with<M: ConcurrentMerger>(
         });
     }
 
-    // Phase 3: the inter-band seam, sequential (one row per band).
+    // Phase 3: the inter-band seam. One seam per band, but O(width): the
+    // row is split into column spans merged in parallel. A span's
+    // diagonal probes read the full carry row ([`merge_seam_span`]), so
+    // the partition merges exactly the same pairs as one whole-row call.
     if !carry.is_empty() {
-        let mut store = MergerStore::new(&parents, merger);
-        merge_seam(carry, &labels[..w], &mut store);
+        let spans = split_spans(w, threads);
+        if spans.len() <= 1 {
+            let mut store = MergerStore::new(&parents, merger);
+            merge_seam(carry, &labels[..w], &mut store);
+        } else {
+            let cur = &labels[..w];
+            rayon::scope(|s| {
+                for span in spans {
+                    let parents = &parents;
+                    s.spawn(move |_| {
+                        let mut store = MergerStore::new(parents, merger);
+                        merge_seam_span(carry, cur, span, &mut store);
+                    });
+                }
+            });
+        }
     }
 
     (labels, parents)

@@ -1,0 +1,801 @@
+//! [`TileGridLabeler`] — the bounded-memory 2-D tile-grid engine.
+//!
+//! PAREMSP's chunk-scan + boundary-merge structure generalizes from row
+//! bands to a full tile grid: every tile of a **tile row** is scanned
+//! independently (RemSP inside the tile, with disjoint provisional-label
+//! ranges), then connectivity is restored along both seam orientations —
+//!
+//! * **vertical seams** between horizontally adjacent tiles, walked as
+//!   strided columns ([`merge_seam_strided`]) directly over the per-tile
+//!   label buffers, no transpose and no stitched full-width buffer;
+//! * the **horizontal seam** against the carried last pixel row of the
+//!   previous tile row ([`merge_seam`]), exactly like the strip labeler.
+//!
+//! In parallel mode the tiles of the resident row are scanned by
+//! `threads` workers and the vertical seams merge concurrently with the
+//! configured MERGER (Algorithm 8 or its CAS variant) — PAREMSP across
+//! the tile row. After each row the label space is compacted to the
+//! components still *open* on the carry boundary and every retired slot
+//! is recycled, so resident state is
+//!
+//! * one tile row of pixels and labels,
+//! * one carry row (`width` labels),
+//! * one [`Accum`] per open component,
+//!
+//! i.e. **at most two tile rows** of pixel-equivalent memory, independent
+//! of image height — and independent of image *width* mattering only
+//! linearly (the carry row), never quadratically.
+
+use ccl_core::par::{MergerKind, MergerStore};
+use ccl_core::scan::{
+    max_labels_two_line, merge_seam, merge_seam_span, merge_seam_strided, scan_two_line,
+    split_spans,
+};
+use ccl_image::BinaryImage;
+use ccl_stream::analysis::Accum;
+use ccl_stream::{BandUf, ComponentSink, StreamStats};
+use ccl_unionfind::par::{CasMerger, ConcurrentMerger, ConcurrentParents, LockedMerger};
+use ccl_unionfind::{EquivalenceStore, RemSP, UnionFind};
+
+use crate::error::TilesError;
+use crate::sink::{TileMeta, TileSink};
+
+/// Configuration for [`TileGridLabeler`].
+#[derive(Debug, Clone)]
+pub struct TileGridConfig {
+    /// Worker threads for the in-row tile scans and seam merges
+    /// (1 = fully sequential).
+    pub threads: usize,
+    /// Boundary-merge implementation for the parallel mode.
+    pub merger: MergerKind,
+    /// Lock stripes for [`MergerKind::Locked`]; `None` = default.
+    pub lock_stripes: Option<usize>,
+}
+
+impl Default for TileGridConfig {
+    fn default() -> Self {
+        TileGridConfig {
+            threads: 1,
+            merger: MergerKind::default(),
+            lock_stripes: None,
+        }
+    }
+}
+
+impl TileGridConfig {
+    /// Sequential scanning (AREMSP tile by tile).
+    pub fn sequential() -> Self {
+        TileGridConfig::default()
+    }
+
+    /// PAREMSP across `threads` workers within each tile row.
+    pub fn parallel(threads: usize) -> Self {
+        TileGridConfig {
+            threads,
+            ..TileGridConfig::default()
+        }
+    }
+
+    /// Builder: replaces the boundary-merge implementation.
+    pub fn with_merger(mut self, merger: MergerKind) -> Self {
+        self.merger = merger;
+        self
+    }
+}
+
+/// Summary returned by [`TileGridLabeler::finish`]. Mirrors
+/// [`StreamStats`] with the grid-specific tile counters added.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGridStats {
+    /// Grid width in pixels.
+    pub width: usize,
+    /// Total pixel rows labeled.
+    pub rows: usize,
+    /// Number of tile rows pushed.
+    pub tile_rows: usize,
+    /// Total tiles labeled.
+    pub tiles: usize,
+    /// Total components emitted.
+    pub components: u64,
+    /// Maximum pixel rows resident at any point: the tallest tile row
+    /// plus the one carried boundary row — the ≤ 2-tile-row bound.
+    pub peak_resident_rows: usize,
+}
+
+impl TileGridStats {
+    /// The stats viewed as the equivalent row-band stream summary.
+    pub fn as_stream_stats(&self) -> StreamStats {
+        StreamStats {
+            width: self.width,
+            rows: self.rows,
+            bands: self.tile_rows,
+            components: self.components,
+            peak_resident_rows: self.peak_resident_rows,
+        }
+    }
+}
+
+/// The tile-grid two-pass labeling engine. See the module docs.
+///
+/// ```
+/// use ccl_image::BinaryImage;
+/// use ccl_stream::ComponentRecord;
+/// use ccl_tiles::TileGridLabeler;
+///
+/// // one component crossing both the vertical and horizontal seams
+/// let tl = BinaryImage::parse(".. .#");
+/// let tr = BinaryImage::parse(".. #.");
+/// let bl = BinaryImage::parse(".# ..");
+/// let br = BinaryImage::parse("#. ..");
+/// let mut sink: Vec<ComponentRecord> = Vec::new();
+/// let mut labeler = TileGridLabeler::new(4);
+/// labeler.push_tile_row(&[tl, tr], &mut sink).unwrap();
+/// labeler.push_tile_row(&[bl, br], &mut sink).unwrap();
+/// let stats = labeler.finish(&mut sink);
+/// assert_eq!(stats.components, 1);
+/// assert_eq!(sink[0].area, 4);
+/// ```
+pub struct TileGridLabeler {
+    width: usize,
+    cfg: TileGridConfig,
+    rows_done: usize,
+    tile_rows_done: usize,
+    tiles_done: usize,
+    /// Labels (active ids `1..=k`, 0 = background) of the last pixel row
+    /// of the previous tile row; empty before the first row.
+    carry: Vec<u32>,
+    /// Accumulators of the open components, indexed by active id (slot 0
+    /// unused).
+    active: Vec<Accum>,
+    next_gid: u64,
+    finalized: u64,
+    peak_resident_rows: usize,
+}
+
+impl TileGridLabeler {
+    /// Sequential labeler for a grid of the given total width.
+    pub fn new(width: usize) -> Self {
+        Self::with_config(width, TileGridConfig::default())
+    }
+
+    /// Labeler with explicit configuration.
+    pub fn with_config(width: usize, cfg: TileGridConfig) -> Self {
+        TileGridLabeler {
+            width,
+            cfg,
+            rows_done: 0,
+            tile_rows_done: 0,
+            tiles_done: 0,
+            carry: Vec::new(),
+            active: vec![Accum::EMPTY],
+            next_gid: 1,
+            finalized: 0,
+            peak_resident_rows: 0,
+        }
+    }
+
+    /// Grid width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pixel rows labeled so far.
+    pub fn rows_pushed(&self) -> usize {
+        self.rows_done
+    }
+
+    /// Tile rows pushed so far.
+    pub fn tile_rows_pushed(&self) -> usize {
+        self.tile_rows_done
+    }
+
+    /// Components currently open (touching the carry row).
+    pub fn open_components(&self) -> usize {
+        self.active.len() - 1
+    }
+
+    /// Components emitted so far.
+    pub fn finalized_components(&self) -> u64 {
+        self.finalized
+    }
+
+    /// Maximum pixel rows resident at any point so far (tallest tile row
+    /// + 1 carry row) — never exceeds two tile rows.
+    pub fn peak_resident_rows(&self) -> usize {
+        self.peak_resident_rows
+    }
+
+    /// Labels the next tile row, emitting every component that closes.
+    /// `tiles` are left-to-right; their widths must sum to the grid width
+    /// and their heights must agree.
+    pub fn push_tile_row<C: ComponentSink>(
+        &mut self,
+        tiles: &[BinaryImage],
+        components: &mut C,
+    ) -> Result<(), TilesError> {
+        self.process(tiles, components, None)
+    }
+
+    /// Like [`Self::push_tile_row`], additionally emitting every labeled
+    /// tile (and any id merges) through `sink`.
+    pub fn push_tile_row_with_labels<C: ComponentSink, T: TileSink>(
+        &mut self,
+        tiles: &[BinaryImage],
+        components: &mut C,
+        sink: &mut T,
+    ) -> Result<(), TilesError> {
+        self.process(tiles, components, Some(sink))
+    }
+
+    /// Closes the grid: every still-open component is finalized and
+    /// emitted (ascending id), and the run's summary returned.
+    pub fn finish<C: ComponentSink>(mut self, components: &mut C) -> TileGridStats {
+        let mut remaining: Vec<Accum> = self.active.drain(1..).collect();
+        remaining.sort_by_key(|a| a.gid);
+        for acc in remaining {
+            self.finalized += 1;
+            components.component(&acc.into_record());
+        }
+        TileGridStats {
+            width: self.width,
+            rows: self.rows_done,
+            tile_rows: self.tile_rows_done,
+            tiles: self.tiles_done,
+            components: self.finalized,
+            peak_resident_rows: self.peak_resident_rows,
+        }
+    }
+
+    fn process(
+        &mut self,
+        tiles: &[BinaryImage],
+        components: &mut dyn ComponentSink,
+        sink: Option<&mut dyn TileSink>,
+    ) -> Result<(), TilesError> {
+        let total: usize = tiles.iter().map(BinaryImage::width).sum();
+        if total != self.width {
+            return Err(TilesError::WidthMismatch {
+                expected: self.width,
+                got: total,
+            });
+        }
+        let th = tiles.first().map_or(0, |t| t.height());
+        if let Some(bad) = tiles.iter().find(|t| t.height() != th) {
+            return Err(TilesError::RaggedTileRow {
+                expected: th,
+                got: bad.height(),
+            });
+        }
+        let w = self.width;
+        if th == 0 || w == 0 {
+            self.rows_done += th;
+            self.tile_rows_done += usize::from(th > 0);
+            return Ok(());
+        }
+        self.peak_resident_rows = self
+            .peak_resident_rows
+            .max(th + usize::from(!self.carry.is_empty()));
+        let n_carry = (self.active.len() - 1) as u32;
+        let widths: Vec<usize> = tiles.iter().map(BinaryImage::width).collect();
+        let mut x0s = Vec::with_capacity(tiles.len());
+        let mut x0 = 0usize;
+        for &tw in &widths {
+            x0s.push(x0);
+            x0 += tw;
+        }
+
+        // Scan every tile (chunk-local semantics: rows above and columns
+        // beside the tile read as background), then both seam
+        // orientations: vertical between adjacent tiles, horizontal
+        // against the carry row.
+        let (bufs, mut uf) = if self.cfg.threads <= 1 {
+            let capacity: usize = widths
+                .iter()
+                .map(|&tw| max_labels_two_line(th, tw))
+                .sum::<usize>()
+                + 1
+                + n_carry as usize;
+            let mut store = RemSP::with_capacity(capacity);
+            for id in 0..=n_carry {
+                store.new_label(id);
+            }
+            let mut bufs: Vec<Vec<u32>> = widths.iter().map(|&tw| vec![0u32; tw * th]).collect();
+            let mut next = n_carry + 1;
+            for (tile, buf) in tiles.iter().zip(bufs.iter_mut()) {
+                next = scan_two_line(tile, 0..th, buf, &mut store, next);
+            }
+            for t in 1..tiles.len() {
+                let lw = widths[t - 1];
+                merge_seam_strided(
+                    &bufs[t - 1][lw - 1..],
+                    lw,
+                    &bufs[t],
+                    widths[t],
+                    th,
+                    &mut store,
+                );
+            }
+            if !self.carry.is_empty() {
+                let top = assemble_row(&bufs, &widths, 0, w);
+                merge_seam(&self.carry, &top, &mut store);
+            }
+            (bufs, BandUf::Seq(store))
+        } else {
+            let parents = match self.cfg.merger {
+                MergerKind::Locked => {
+                    let merger = match self.cfg.lock_stripes {
+                        Some(s) => LockedMerger::with_stripes(s),
+                        None => LockedMerger::new(),
+                    };
+                    scan_tile_row_parallel(
+                        tiles,
+                        &widths,
+                        th,
+                        &self.carry,
+                        n_carry,
+                        self.cfg.threads,
+                        &merger,
+                    )
+                }
+                MergerKind::Cas => scan_tile_row_parallel(
+                    tiles,
+                    &widths,
+                    th,
+                    &self.carry,
+                    n_carry,
+                    self.cfg.threads,
+                    &CasMerger::new(),
+                ),
+            };
+            (parents.0, BandUf::Par(parents.1))
+        };
+
+        // Fold the carried accumulators onto their (possibly merged)
+        // roots. Any set containing a carried id is rooted at a carried
+        // id (Rem roots are set minima; carried ids occupy the low slots).
+        let nslots = uf.slots();
+        let mut acc = vec![Accum::EMPTY; nslots];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut merges: Vec<(u64, u64)> = Vec::new();
+        for id in 1..=n_carry {
+            let root = uf.find(id);
+            let src = self.active[id as usize];
+            let dst = &mut acc[root as usize];
+            if dst.area == 0 {
+                *dst = src;
+                touched.push(root);
+            } else {
+                let (kept, absorbed) = if dst.gid <= src.gid {
+                    (dst.gid, src.gid)
+                } else {
+                    (src.gid, dst.gid)
+                };
+                dst.merge_with(&src);
+                dst.gid = kept;
+                merges.push((kept, absorbed));
+            }
+        }
+
+        // Accumulate the row's pixels per root in *global raster order*
+        // (row-major across the whole tile row), so fresh ids are
+        // assigned exactly as the strip labeler would and anchors stay
+        // raster-first.
+        let r0 = self.rows_done;
+        let mut tile_gids: Vec<Vec<u64>> = if sink.is_some() {
+            widths.iter().map(|&tw| vec![0u64; tw * th]).collect()
+        } else {
+            Vec::new()
+        };
+        let mut root_of: Vec<u32> = vec![u32::MAX; nslots];
+        for r in 0..th {
+            for t in 0..tiles.len() {
+                let tw = widths[t];
+                let base = r * tw;
+                for c in 0..tw {
+                    let l = bufs[t][base + c];
+                    if l == 0 {
+                        continue;
+                    }
+                    let root = if root_of[l as usize] != u32::MAX {
+                        root_of[l as usize]
+                    } else {
+                        let root = uf.find(l);
+                        root_of[l as usize] = root;
+                        root
+                    };
+                    // Already-seen 4-neighbours (west — possibly in the
+                    // previous tile — and north — possibly the carry row)
+                    // for the perimeter fold.
+                    let west = if c > 0 {
+                        bufs[t][base + c - 1] != 0
+                    } else if t > 0 {
+                        let lw = widths[t - 1];
+                        bufs[t - 1][r * lw + lw - 1] != 0
+                    } else {
+                        false
+                    };
+                    let north = if r > 0 {
+                        bufs[t][base + c - tw] != 0
+                    } else {
+                        !self.carry.is_empty() && self.carry[x0s[t] + c] != 0
+                    };
+                    let adjacent = u64::from(west) + u64::from(north);
+                    let slot = &mut acc[root as usize];
+                    let (gr, gc) = (r0 + r, x0s[t] + c);
+                    if slot.area == 0 {
+                        debug_assert_eq!(adjacent, 0, "first pixel with live 4-neighbour");
+                        *slot = Accum::first(gr, gc);
+                        slot.gid = self.next_gid;
+                        self.next_gid += 1;
+                        touched.push(root);
+                    } else {
+                        slot.add(gr, gc, adjacent);
+                    }
+                    if sink.is_some() {
+                        tile_gids[t][base + c] = slot.gid;
+                    }
+                }
+            }
+        }
+
+        // Components with a pixel on the row's last line stay open:
+        // compact them to active ids 1..=k and rebuild the carry row.
+        let mut new_active: Vec<Accum> = vec![Accum::EMPTY];
+        let mut new_carry = vec![0u32; w];
+        let mut survivor_id: Vec<u32> = vec![0; nslots];
+        for t in 0..tiles.len() {
+            let tw = widths[t];
+            let base = (th - 1) * tw;
+            for c in 0..tw {
+                let l = bufs[t][base + c];
+                if l == 0 {
+                    continue;
+                }
+                let root = root_of[l as usize] as usize;
+                if survivor_id[root] == 0 {
+                    new_active.push(acc[root]);
+                    survivor_id[root] = (new_active.len() - 1) as u32;
+                }
+                new_carry[x0s[t] + c] = survivor_id[root];
+            }
+        }
+
+        let mut closed: Vec<Accum> = touched
+            .iter()
+            .filter(|&&root| survivor_id[root as usize] == 0)
+            .map(|&root| acc[root as usize])
+            .collect();
+        closed.sort_by_key(|a| a.gid);
+        for acc in closed {
+            self.finalized += 1;
+            components.component(&acc.into_record());
+        }
+
+        if let Some(sink) = sink {
+            merges.sort_unstable();
+            for (kept, absorbed) in merges {
+                sink.merge(kept, absorbed);
+            }
+            for t in 0..tiles.len() {
+                sink.tile(
+                    &TileMeta {
+                        tile_row: self.tile_rows_done,
+                        tile_col: t,
+                        row0: r0,
+                        col0: x0s[t],
+                        width: widths[t],
+                        height: th,
+                    },
+                    &tile_gids[t],
+                )?;
+            }
+        }
+
+        self.active = new_active;
+        self.carry = new_carry;
+        self.rows_done += th;
+        self.tile_rows_done += 1;
+        self.tiles_done += tiles.len();
+        Ok(())
+    }
+}
+
+/// Copies local row `r` of every tile buffer into one `width`-long row.
+fn assemble_row(bufs: &[Vec<u32>], widths: &[usize], r: usize, width: usize) -> Vec<u32> {
+    let mut row = Vec::with_capacity(width);
+    for (buf, &tw) in bufs.iter().zip(widths) {
+        row.extend_from_slice(&buf[r * tw..(r + 1) * tw]);
+    }
+    debug_assert_eq!(row.len(), width);
+    row
+}
+
+/// Parallel tile-row scan: tiles are grouped into at most `threads`
+/// contiguous runs scanned concurrently with disjoint provisional-label
+/// ranges, then the vertical seams merge concurrently with the configured
+/// MERGER, and the horizontal carry seam merges in column spans across
+/// the same workers.
+#[allow(clippy::too_many_arguments)]
+fn scan_tile_row_parallel<M: ConcurrentMerger>(
+    tiles: &[BinaryImage],
+    widths: &[usize],
+    th: usize,
+    carry: &[u32],
+    n_carry: u32,
+    threads: usize,
+    merger: &M,
+) -> (Vec<Vec<u32>>, ConcurrentParents) {
+    let ntiles = tiles.len();
+    let threads = threads.max(1);
+    // disjoint label ranges, one per tile
+    let mut offsets = Vec::with_capacity(ntiles);
+    let mut next = n_carry + 1;
+    for &tw in widths {
+        offsets.push(next);
+        next += max_labels_two_line(th, tw) as u32;
+    }
+    let parents = ConcurrentParents::new(next as usize);
+    {
+        let mut store = parents.chunk_store();
+        for id in 1..=n_carry {
+            store.new_label(id);
+        }
+    }
+    let mut bufs: Vec<Vec<u32>> = widths.iter().map(|&tw| vec![0u32; tw * th]).collect();
+
+    // Phase 1: per-tile scans, grouped into contiguous runs of tiles
+    // (contention-free: disjoint ranges, one ChunkStore per group).
+    rayon::scope(|s| {
+        let mut rest: &mut [Vec<u32>] = &mut bufs;
+        for group in split_spans(ntiles, threads) {
+            let (mine, tail) = rest.split_at_mut(group.len());
+            rest = tail;
+            let parents = &parents;
+            let offsets = &offsets;
+            s.spawn(move |_| {
+                let mut store = parents.chunk_store();
+                for (t, buf) in group.zip(mine) {
+                    scan_two_line(&tiles[t], 0..th, buf, &mut store, offsets[t]);
+                }
+            });
+        }
+    });
+
+    // Phase 2: vertical seams between adjacent tiles, concurrently with
+    // the shared merger (each boundary reads two finished tile buffers).
+    if ntiles > 1 {
+        let bufs_ref = &bufs;
+        rayon::scope(|s| {
+            for group in split_spans(ntiles - 1, threads) {
+                let parents = &parents;
+                s.spawn(move |_| {
+                    let mut store = MergerStore::new(parents, merger);
+                    // boundary i sits between tiles i and i + 1
+                    for t in group.start + 1..group.end + 1 {
+                        let lw = widths[t - 1];
+                        merge_seam_strided(
+                            &bufs_ref[t - 1][lw - 1..],
+                            lw,
+                            &bufs_ref[t],
+                            widths[t],
+                            th,
+                            &mut store,
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    // Phase 3: the horizontal carry seam, split into column spans.
+    if !carry.is_empty() {
+        let w = carry.len();
+        let top = assemble_row(&bufs, widths, 0, w);
+        let top_ref = &top;
+        rayon::scope(|s| {
+            for span in split_spans(w, threads) {
+                let parents = &parents;
+                s.spawn(move |_| {
+                    let mut store = MergerStore::new(parents, merger);
+                    merge_seam_span(carry, top_ref, span, &mut store);
+                });
+            }
+        });
+    }
+
+    (bufs, parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccl_stream::{ComponentRecord, CountComponents};
+
+    /// Tiles `img` into `tile_w × tile_h` tiles and runs the grid labeler.
+    fn run_tiled(
+        img: &BinaryImage,
+        tile_w: usize,
+        tile_h: usize,
+        cfg: TileGridConfig,
+    ) -> (Vec<ComponentRecord>, TileGridStats) {
+        use crate::source::{GridSource, TileSource};
+        let mut sink: Vec<ComponentRecord> = Vec::new();
+        let mut labeler = TileGridLabeler::with_config(img.width(), cfg);
+        let mut src = GridSource::from_image(img, tile_w, tile_h);
+        while let Some(tiles) = src.next_tile_row().unwrap() {
+            labeler.push_tile_row(&tiles, &mut sink).unwrap();
+        }
+        let stats = labeler.finish(&mut sink);
+        (sink, stats)
+    }
+
+    #[test]
+    fn single_tile_matches_strip_semantics() {
+        let img = BinaryImage::parse(
+            "##..
+             ##..
+             ...#",
+        );
+        let (recs, stats) = run_tiled(&img, 4, 3, TileGridConfig::default());
+        assert_eq!(stats.components, 2);
+        assert_eq!(recs[0].area, 4);
+        assert_eq!(recs[0].bbox, (0, 0, 1, 1));
+        assert_eq!(recs[1].area, 1);
+    }
+
+    #[test]
+    fn component_crossing_vertical_seam() {
+        let img = BinaryImage::from_fn(8, 3, |r, _| r == 1);
+        for tile_w in 1..=8 {
+            let (recs, stats) = run_tiled(&img, tile_w, 3, TileGridConfig::default());
+            assert_eq!(stats.components, 1, "tile width {tile_w}");
+            assert_eq!(recs[0].area, 8);
+            assert_eq!(recs[0].bbox, (1, 0, 1, 7));
+        }
+    }
+
+    #[test]
+    fn diagonal_only_vertical_seam_connects() {
+        // pixels at (0,1) and (1,2): tiles of width 2 split them into
+        // different tiles; only the diagonal crosses the seam
+        let img = BinaryImage::parse(
+            ".#..
+             ..#.",
+        );
+        let (recs, stats) = run_tiled(&img, 2, 2, TileGridConfig::default());
+        assert_eq!(stats.components, 1);
+        assert_eq!(recs[0].area, 2);
+    }
+
+    #[test]
+    fn u_shape_across_all_four_tiles() {
+        let img = BinaryImage::parse(
+            "#..#
+             #..#
+             ####",
+        );
+        for (tw, th) in [(1, 1), (2, 2), (3, 2), (2, 1), (4, 3), (1, 3)] {
+            let (recs, stats) = run_tiled(&img, tw, th, TileGridConfig::default());
+            assert_eq!(stats.components, 1, "{tw}x{th} tiles");
+            assert_eq!(recs[0].id, 1, "older id survives");
+            assert_eq!(recs[0].area, 8);
+        }
+    }
+
+    #[test]
+    fn tile_shape_invariance_on_random_images() {
+        let mut state = 3u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        let img = BinaryImage::from_fn(21, 17, |_, _| rnd());
+        let (reference, _) = run_tiled(&img, 21, 17, TileGridConfig::default());
+        let mut sorted_ref: Vec<_> = reference
+            .iter()
+            .map(|r| (r.anchor, r.area, r.bbox, r.perimeter))
+            .collect();
+        sorted_ref.sort_unstable();
+        for (tw, th) in [(1, 1), (2, 3), (5, 5), (7, 2), (20, 16), (21, 1), (1, 17)] {
+            let (recs, _) = run_tiled(&img, tw, th, TileGridConfig::default());
+            let mut got: Vec<_> = recs
+                .iter()
+                .map(|r| (r.anchor, r.area, r.bbox, r.perimeter))
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, sorted_ref, "{tw}x{th} tiles");
+        }
+    }
+
+    #[test]
+    fn parallel_mode_is_bit_identical_to_sequential() {
+        let mut state = 1234u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        let img = BinaryImage::from_fn(37, 29, |_, _| rnd());
+        let (seq, seq_stats) = run_tiled(&img, 7, 5, TileGridConfig::sequential());
+        for threads in [2, 3, 8] {
+            for merger in MergerKind::ALL {
+                let cfg = TileGridConfig::parallel(threads).with_merger(merger);
+                let (par, par_stats) = run_tiled(&img, 7, 5, cfg);
+                assert_eq!(par, seq, "{threads} threads, {merger}");
+                assert_eq!(par_stats, seq_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_memory_invariant() {
+        let img = BinaryImage::from_fn(32, 64, |r, c| (r + c) % 3 != 0);
+        let (_, stats) = run_tiled(&img, 8, 8, TileGridConfig::default());
+        assert_eq!(stats.peak_resident_rows, 9); // 8-row tile row + carry
+        assert_eq!(stats.rows, 64);
+        assert_eq!(stats.tile_rows, 8);
+        assert_eq!(stats.tiles, 8 * 4);
+    }
+
+    #[test]
+    fn label_slots_are_recycled() {
+        let img = BinaryImage::from_fn(64, 64, |r, _| r % 2 == 0);
+        let mut sink = CountComponents::default();
+        let mut labeler = TileGridLabeler::new(64);
+        let mut src = crate::source::GridSource::from_image(&img, 16, 2);
+        use crate::source::TileSource;
+        while let Some(tiles) = src.next_tile_row().unwrap() {
+            labeler.push_tile_row(&tiles, &mut sink).unwrap();
+            assert!(labeler.open_components() <= 1);
+        }
+        let stats = labeler.finish(&mut sink);
+        assert_eq!(stats.components, 32);
+    }
+
+    #[test]
+    fn width_and_height_validation() {
+        let mut labeler = TileGridLabeler::new(4);
+        let mut sink = CountComponents::default();
+        let err = labeler
+            .push_tile_row(&[BinaryImage::zeros(3, 2)], &mut sink)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TilesError::WidthMismatch {
+                expected: 4,
+                got: 3
+            }
+        ));
+        let err = labeler
+            .push_tile_row(
+                &[BinaryImage::zeros(2, 2), BinaryImage::zeros(2, 3)],
+                &mut sink,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TilesError::RaggedTileRow {
+                expected: 2,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_and_degenerate_grids() {
+        let mut sink = CountComponents::default();
+        let stats = TileGridLabeler::new(8).finish(&mut sink);
+        assert_eq!(stats.components, 0);
+
+        let mut labeler = TileGridLabeler::new(0);
+        labeler
+            .push_tile_row(&[BinaryImage::zeros(0, 5)], &mut sink)
+            .unwrap();
+        let stats = labeler.finish(&mut sink);
+        assert_eq!(stats.components, 0);
+        assert_eq!(stats.rows, 5);
+    }
+}

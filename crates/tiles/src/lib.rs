@@ -1,0 +1,66 @@
+//! # ccl-tiles
+//!
+//! Out-of-core **2-D tile-grid** connected component labeling with
+//! spill-to-disk label output — the second out-of-core stage of the
+//! PAREMSP reproduction (Gupta et al., IPPS 2014), generalizing
+//! `ccl-stream`'s 1-D row bands to a full tile grid.
+//!
+//! The strip labeler bounds memory by O(band) = O(image width × band
+//! height). Tiles bound the *unit of work* by O(tile) instead: every tile
+//! of the resident tile row is scanned independently (RemSP inside the
+//! tile, PAREMSP across worker threads over the row), then connectivity
+//! is restored along **both** seam orientations with the same
+//! `merge_seam` machinery — strided columns for the vertical seams
+//! between adjacent tiles, the carried boundary row for the horizontal
+//! seam (Komura's generalized label-equivalence merge over an arbitrary
+//! block decomposition). Label slots recycle after every tile row, keyed
+//! to the components still open on the carry boundary, so arbitrarily
+//! tall images label in at most **two tile rows** of resident memory.
+//!
+//! The crate pairs the bounded-memory *input* with bounded-memory
+//! *output*: [`SpillSink`] spills each labeled tile to disk (raw
+//! little-endian `u32` or 16-bit PGM) with a sidecar manifest carrying
+//! the merge table, and patches final labels on close — so a gigapixel
+//! labeling run never holds more than a tile row of pixels or labels.
+//!
+//! * [`TileSource`] / [`GridSource`] — pull-based tile rows windowed from
+//!   any `ccl-stream` [`RowSource`](ccl_stream::RowSource): in-memory
+//!   images, incremental Netpbm files, streamed generators;
+//! * [`TileGridLabeler`] — the engine (see [`labeler`]);
+//! * [`TileSink`] / [`CollectTiles`] / [`SpillSink`] — labeled-tile
+//!   output, in memory or spilled ([`sink`]);
+//! * [`analyze_tiles`] / [`label_tiles`] / [`tiles_to_label_image`] /
+//!   [`spill_tiles`] — whole-stream drivers.
+//!
+//! ## Example
+//!
+//! ```
+//! use ccl_datasets::synth::stream::bernoulli_stream;
+//! use ccl_tiles::{analyze_tiles, GridSource, TileGridConfig};
+//!
+//! // A 96 × 4096 noise raster in 32×32 tiles: the labeler never holds
+//! // more than 33 pixel rows (one tile row + the carry row).
+//! let source = bernoulli_stream(96, 4096, 0.4, 7);
+//! let mut grid = GridSource::new(source, 32, 32);
+//! let (components, stats) = analyze_tiles(&mut grid, TileGridConfig::default()).unwrap();
+//! assert_eq!(stats.components as usize, components.len());
+//! assert!(stats.peak_resident_rows <= 33);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod error;
+pub mod labeler;
+pub mod sink;
+pub mod source;
+
+pub use driver::{analyze_tiles, label_tiles, spill_tiles, tiles_to_label_image};
+pub use error::TilesError;
+pub use labeler::{TileGridConfig, TileGridLabeler, TileGridStats};
+pub use sink::{
+    read_manifest, read_spilled_label_image, temp_spill_dir, CollectTiles, SpillFormat,
+    SpillManifest, SpillSink, TileMeta, TileSink,
+};
+pub use source::{GridSource, TileSource};

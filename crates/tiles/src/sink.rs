@@ -1,0 +1,722 @@
+//! [`TileSink`] — labeled-tile output, including the spill-to-disk writer.
+//!
+//! The grid labeler emits each tile's labels exactly once, carrying the
+//! [`ComponentId`]s known at emission time; components still open may
+//! later merge, and every such event is reported through
+//! [`TileSink::merge`] *before* the next tile. Two sinks are provided:
+//!
+//! * [`CollectTiles`] — buffers everything and reconciles into a
+//!   [`LabelImage`] (tests and callers with memory to spare);
+//! * [`SpillSink`] — the out-of-core path: tiles are **spilled to disk**
+//!   as raw little-endian `u32` rasters or 16-bit PGM (`P5`, maxval
+//!   65535), a sidecar manifest records the grid geometry and the merge
+//!   table, and [`SpillSink::close`] patches the spilled files to final
+//!   labels one tile at a time — output memory stays O(tile), matching
+//!   the labeler's input bound.
+//!
+//! The sidecar is a line-oriented text format (`manifest.txt`) so it
+//! round-trips without a JSON parser; [`read_manifest`] and
+//! [`read_spilled_label_image`] reconstruct the exact partition from the
+//! spilled tiles plus the merge table.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use ccl_core::label::LabelImage;
+use ccl_image::io::pgm;
+use ccl_stream::ComponentId;
+
+use crate::error::TilesError;
+
+/// Placement of one emitted tile within the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileMeta {
+    /// Tile-row index (0-based, top to bottom).
+    pub tile_row: usize,
+    /// Tile-column index (0-based, left to right).
+    pub tile_col: usize,
+    /// Global image row of the tile's first pixel row.
+    pub row0: usize,
+    /// Global image column of the tile's first pixel column.
+    pub col0: usize,
+    /// Tile width in pixels.
+    pub width: usize,
+    /// Tile height in pixels.
+    pub height: usize,
+}
+
+/// Receives every labeled tile exactly once, in row-major tile order.
+/// Tile pixels hold [`ComponentId`]s (0 = background) as known at
+/// emission time; [`TileSink::merge`] reports every later unification
+/// (always before the tiles of the band that discovered it), so a
+/// consumer that union-finds the merge pairs obtains the exact final
+/// partition.
+pub trait TileSink {
+    /// Two previously emitted ids turned out to be one component; `kept`
+    /// (the smaller) survives.
+    fn merge(&mut self, kept: ComponentId, absorbed: ComponentId);
+
+    /// One labeled tile, row-major within the tile.
+    fn tile(&mut self, meta: &TileMeta, gids: &[ComponentId]) -> Result<(), TilesError>;
+}
+
+/// Reference in-memory [`TileSink`]: buffers tiles and merge events, then
+/// reconciles them into a [`LabelImage`].
+#[derive(Debug, Default)]
+pub struct CollectTiles {
+    tiles: Vec<(TileMeta, Vec<ComponentId>)>,
+    merges: Vec<(ComponentId, ComponentId)>,
+}
+
+impl TileSink for CollectTiles {
+    fn merge(&mut self, kept: ComponentId, absorbed: ComponentId) {
+        self.merges.push((kept, absorbed));
+    }
+
+    fn tile(&mut self, meta: &TileMeta, gids: &[ComponentId]) -> Result<(), TilesError> {
+        debug_assert_eq!(gids.len(), meta.width * meta.height);
+        self.tiles.push((*meta, gids.to_vec()));
+        Ok(())
+    }
+}
+
+impl CollectTiles {
+    /// Applies the recorded merges and renumbers components canonically
+    /// (consecutive `1..=k` by raster order of first pixel).
+    pub fn into_label_image(self) -> LabelImage {
+        let (width, height) = extent(self.tiles.iter().map(|(m, _)| m));
+        let mut gids = vec![0u64; width * height];
+        for (meta, tile) in &self.tiles {
+            blit(&mut gids, width, meta, tile);
+        }
+        reconcile(width, height, gids, &self.merges)
+    }
+}
+
+/// Computes the grid extent covered by a set of tile placements.
+fn extent<'a>(metas: impl Iterator<Item = &'a TileMeta>) -> (usize, usize) {
+    let mut width = 0;
+    let mut height = 0;
+    for m in metas {
+        width = width.max(m.col0 + m.width);
+        height = height.max(m.row0 + m.height);
+    }
+    (width, height)
+}
+
+/// Copies a tile's ids into a full-width gid raster.
+fn blit(gids: &mut [u64], width: usize, meta: &TileMeta, tile: &[ComponentId]) {
+    for r in 0..meta.height {
+        let dst = (meta.row0 + r) * width + meta.col0;
+        gids[dst..dst + meta.width].copy_from_slice(&tile[r * meta.width..(r + 1) * meta.width]);
+    }
+}
+
+/// Resolves merge chains and canonically renumbers a gid raster into a
+/// [`LabelImage`] (consecutive labels by raster order of first pixel).
+fn reconcile(
+    width: usize,
+    height: usize,
+    gids: Vec<u64>,
+    merges: &[(ComponentId, ComponentId)],
+) -> LabelImage {
+    // merges always keep the smaller id, so absorbed -> kept terminates
+    let mut parent: HashMap<ComponentId, ComponentId> = HashMap::new();
+    for &(kept, absorbed) in merges {
+        parent.insert(absorbed, kept);
+    }
+    let resolve = |mut id: ComponentId| {
+        while let Some(&p) = parent.get(&id) {
+            id = p;
+        }
+        id
+    };
+    let mut remap: HashMap<ComponentId, u32> = HashMap::new();
+    let mut next = 0u32;
+    let labels: Vec<u32> = gids
+        .iter()
+        .map(|&g| {
+            if g == 0 {
+                0
+            } else {
+                let root = resolve(g);
+                *remap.entry(root).or_insert_with(|| {
+                    next += 1;
+                    next
+                })
+            }
+        })
+        .collect();
+    LabelImage::from_raw(width, height, labels, next)
+}
+
+/// On-disk encoding of a spilled tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillFormat {
+    /// Raw little-endian `u32` samples, row-major, no header (geometry
+    /// lives in the manifest). Ids up to `u32::MAX`.
+    RawU32,
+    /// 16-bit binary PGM (`P5`, maxval 65535, big-endian samples) — a
+    /// standard format any Netpbm tool can open. Ids up to 65535.
+    Pgm16,
+}
+
+impl SpillFormat {
+    /// Largest representable component id.
+    pub fn limit(self) -> u64 {
+        match self {
+            SpillFormat::RawU32 => u32::MAX as u64,
+            SpillFormat::Pgm16 => u16::MAX as u64,
+        }
+    }
+
+    fn extension(self) -> &'static str {
+        match self {
+            SpillFormat::RawU32 => "u32",
+            SpillFormat::Pgm16 => "pgm",
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            SpillFormat::RawU32 => "raw-u32",
+            SpillFormat::Pgm16 => "pgm16",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, TilesError> {
+        match s {
+            "raw-u32" => Ok(SpillFormat::RawU32),
+            "pgm16" => Ok(SpillFormat::Pgm16),
+            other => Err(TilesError::Manifest(format!("unknown format {other:?}"))),
+        }
+    }
+}
+
+/// Geometry + merge table of a finished spill, as written to / read from
+/// the sidecar `manifest.txt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillManifest {
+    /// Tile encoding.
+    pub format: SpillFormat,
+    /// Grid width in pixels.
+    pub width: usize,
+    /// Pixel rows covered by the spilled tiles.
+    pub rows: usize,
+    /// Placement of every spilled tile, in emission (row-major) order.
+    pub tiles: Vec<TileMeta>,
+    /// The merge table: every `(kept, absorbed)` id unification, in
+    /// emission order. After [`SpillSink::close`] the tile files already
+    /// carry final ids, but the table is kept as the sidecar of record so
+    /// a reader can reconstruct the partition from *unpatched* spills too
+    /// (resolution is idempotent).
+    pub merges: Vec<(ComponentId, ComponentId)>,
+}
+
+const MANIFEST_NAME: &str = "manifest.txt";
+const MANIFEST_MAGIC: &str = "ccl-tiles spill v1";
+
+/// The out-of-core [`TileSink`]: spills each labeled tile to `dir` as it
+/// is emitted and patches final labels on [`close`](SpillSink::close).
+/// See the module docs for the file layout.
+#[derive(Debug)]
+pub struct SpillSink {
+    dir: PathBuf,
+    format: SpillFormat,
+    tiles: Vec<TileMeta>,
+    merges: Vec<(ComponentId, ComponentId)>,
+}
+
+impl SpillSink {
+    /// Creates the spill directory (and parents) and an empty sink.
+    pub fn create(dir: impl Into<PathBuf>, format: SpillFormat) -> Result<Self, TilesError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SpillSink {
+            dir,
+            format,
+            tiles: Vec::new(),
+            merges: Vec::new(),
+        })
+    }
+
+    /// Directory the tiles spill into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Tiles spilled so far.
+    pub fn tiles_spilled(&self) -> usize {
+        self.tiles.len()
+    }
+
+    fn tile_path(dir: &Path, format: SpillFormat, meta: &TileMeta) -> PathBuf {
+        dir.join(format!(
+            "tile_{:05}_{:05}.{}",
+            meta.tile_row,
+            meta.tile_col,
+            format.extension()
+        ))
+    }
+
+    fn write_tile(&self, meta: &TileMeta, gids: &[u64]) -> Result<(), TilesError> {
+        let path = Self::tile_path(&self.dir, self.format, meta);
+        let limit = self.format.limit();
+        if let Some(&bad) = gids.iter().find(|&&g| g > limit) {
+            return Err(TilesError::LabelOverflow { gid: bad, limit });
+        }
+        let bytes = match self.format {
+            SpillFormat::RawU32 => {
+                let mut out = Vec::with_capacity(gids.len() * 4);
+                for &g in gids {
+                    out.extend_from_slice(&(g as u32).to_le_bytes());
+                }
+                out
+            }
+            SpillFormat::Pgm16 => {
+                let samples: Vec<u16> = gids.iter().map(|&g| g as u16).collect();
+                pgm::write_binary16(meta.width, meta.height, &samples)
+            }
+        };
+        fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Finalizes the spill: writes the sidecar manifest, then patches
+    /// every tile whose ids were absorbed by a merge — one tile resident
+    /// at a time — so the on-disk rasters carry final component ids.
+    /// Returns the manifest.
+    pub fn close(self) -> Result<SpillManifest, TilesError> {
+        let (width, rows) = extent(self.tiles.iter());
+        let manifest = SpillManifest {
+            format: self.format,
+            width,
+            rows,
+            tiles: self.tiles,
+            merges: self.merges,
+        };
+        write_manifest(&self.dir, &manifest)?;
+
+        // resolve map: absorbed id -> final id (chains collapsed)
+        let mut parent: HashMap<u64, u64> = HashMap::new();
+        for &(kept, absorbed) in &manifest.merges {
+            parent.insert(absorbed, kept);
+        }
+        let mut finals: HashMap<u64, u64> = HashMap::new();
+        for &absorbed in parent.keys() {
+            let mut id = absorbed;
+            while let Some(&p) = parent.get(&id) {
+                id = p;
+            }
+            finals.insert(absorbed, id);
+        }
+        if !finals.is_empty() {
+            for meta in &manifest.tiles {
+                patch_tile(&self.dir, manifest.format, meta, &finals)?;
+            }
+        }
+        Ok(manifest)
+    }
+}
+
+impl TileSink for SpillSink {
+    fn merge(&mut self, kept: ComponentId, absorbed: ComponentId) {
+        self.merges.push((kept, absorbed));
+    }
+
+    fn tile(&mut self, meta: &TileMeta, gids: &[ComponentId]) -> Result<(), TilesError> {
+        self.write_tile(meta, gids)?;
+        self.tiles.push(*meta);
+        Ok(())
+    }
+}
+
+/// Rewrites one spilled tile with absorbed ids mapped to their final ids.
+/// Skips the write when nothing in the tile changed.
+fn patch_tile(
+    dir: &Path,
+    format: SpillFormat,
+    meta: &TileMeta,
+    finals: &HashMap<u64, u64>,
+) -> Result<(), TilesError> {
+    let path = SpillSink::tile_path(dir, format, meta);
+    let mut gids = read_tile(&path, format, meta)?;
+    let mut changed = false;
+    for g in gids.iter_mut() {
+        if let Some(&f) = finals.get(g) {
+            *g = f;
+            changed = true;
+        }
+    }
+    if changed {
+        // final ids are always the *smaller* of a merged pair, so
+        // patching can never overflow the format
+        let sink = SpillSink {
+            dir: dir.to_path_buf(),
+            format,
+            tiles: Vec::new(),
+            merges: Vec::new(),
+        };
+        sink.write_tile(meta, &gids)?;
+    }
+    Ok(())
+}
+
+/// Reads one spilled tile back into component ids.
+fn read_tile(path: &Path, format: SpillFormat, meta: &TileMeta) -> Result<Vec<u64>, TilesError> {
+    let bytes = fs::read(path)?;
+    let expected = meta.width * meta.height;
+    match format {
+        SpillFormat::RawU32 => {
+            if bytes.len() != expected * 4 {
+                return Err(TilesError::Manifest(format!(
+                    "tile {} has {} bytes, expected {}",
+                    path.display(),
+                    bytes.len(),
+                    expected * 4
+                )));
+            }
+            Ok(bytes
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64)
+                .collect())
+        }
+        SpillFormat::Pgm16 => {
+            let (w, h, samples) = pgm::read_binary16(&bytes)?;
+            if (w, h) != (meta.width, meta.height) {
+                return Err(TilesError::Manifest(format!(
+                    "tile {} is {w}x{h}, expected {}x{}",
+                    path.display(),
+                    meta.width,
+                    meta.height
+                )));
+            }
+            Ok(samples.into_iter().map(u64::from).collect())
+        }
+    }
+}
+
+fn write_manifest(dir: &Path, manifest: &SpillManifest) -> Result<(), TilesError> {
+    let mut out = String::new();
+    out.push_str(MANIFEST_MAGIC);
+    out.push('\n');
+    out.push_str(&format!("format {}\n", manifest.format.name()));
+    out.push_str(&format!("width {}\n", manifest.width));
+    out.push_str(&format!("rows {}\n", manifest.rows));
+    out.push_str(&format!("tiles {}\n", manifest.tiles.len()));
+    for m in &manifest.tiles {
+        out.push_str(&format!(
+            "tile {} {} {} {} {} {}\n",
+            m.tile_row, m.tile_col, m.row0, m.col0, m.width, m.height
+        ));
+    }
+    out.push_str(&format!("merges {}\n", manifest.merges.len()));
+    for &(kept, absorbed) in &manifest.merges {
+        out.push_str(&format!("merge {kept} {absorbed}\n"));
+    }
+    let mut f = fs::File::create(dir.join(MANIFEST_NAME))?;
+    f.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+/// Parses the sidecar manifest of a spill directory.
+pub fn read_manifest(dir: impl AsRef<Path>) -> Result<SpillManifest, TilesError> {
+    let path = dir.as_ref().join(MANIFEST_NAME);
+    let file = fs::File::open(&path)
+        .map_err(|e| TilesError::Manifest(format!("{}: {e}", path.display())))?;
+    let mut lines = BufReader::new(file).lines();
+    let mut next_line = || -> Result<String, TilesError> {
+        lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| TilesError::Manifest("unexpected end of manifest".into()))
+    };
+    if next_line()? != MANIFEST_MAGIC {
+        return Err(TilesError::Manifest("bad magic line".into()));
+    }
+    let field = |line: &str, key: &str| -> Result<String, TilesError> {
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(str::to_string)
+            .ok_or_else(|| TilesError::Manifest(format!("expected {key:?}, got {line:?}")))
+    };
+    let parse_usize = |s: &str| -> Result<usize, TilesError> {
+        s.parse()
+            .map_err(|_| TilesError::Manifest(format!("invalid number {s:?}")))
+    };
+    let format = SpillFormat::parse(&field(&next_line()?, "format")?)?;
+    let width = parse_usize(&field(&next_line()?, "width")?)?;
+    let rows = parse_usize(&field(&next_line()?, "rows")?)?;
+    let ntiles = parse_usize(&field(&next_line()?, "tiles")?)?;
+    let mut tiles = Vec::with_capacity(ntiles);
+    for _ in 0..ntiles {
+        let line = next_line()?;
+        let body = field(&line, "tile")?;
+        let nums: Vec<usize> = body
+            .split_ascii_whitespace()
+            .map(parse_usize)
+            .collect::<Result<_, _>>()?;
+        if nums.len() != 6 {
+            return Err(TilesError::Manifest(format!(
+                "malformed tile line {line:?}"
+            )));
+        }
+        tiles.push(TileMeta {
+            tile_row: nums[0],
+            tile_col: nums[1],
+            row0: nums[2],
+            col0: nums[3],
+            width: nums[4],
+            height: nums[5],
+        });
+    }
+    let nmerges = parse_usize(&field(&next_line()?, "merges")?)?;
+    let mut merges = Vec::with_capacity(nmerges);
+    for _ in 0..nmerges {
+        let line = next_line()?;
+        let body = field(&line, "merge")?;
+        let nums: Vec<u64> = body
+            .split_ascii_whitespace()
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| TilesError::Manifest(format!("invalid id {s:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if nums.len() != 2 {
+            return Err(TilesError::Manifest(format!(
+                "malformed merge line {line:?}"
+            )));
+        }
+        merges.push((nums[0], nums[1]));
+    }
+    // Self-consistency: every declared placement must fit the declared
+    // extent (and the extent itself must be addressable), so downstream
+    // readers can allocate and blit without bounds surprises.
+    width
+        .checked_mul(rows)
+        .ok_or_else(|| TilesError::Manifest(format!("extent {width}x{rows} overflows")))?;
+    for m in &tiles {
+        let fits = m
+            .col0
+            .checked_add(m.width)
+            .is_some_and(|right| right <= width)
+            && m.row0
+                .checked_add(m.height)
+                .is_some_and(|bottom| bottom <= rows);
+        if !fits {
+            return Err(TilesError::Manifest(format!(
+                "tile {}x{} at ({}, {}) exceeds declared extent {width}x{rows}",
+                m.width, m.height, m.row0, m.col0
+            )));
+        }
+    }
+    Ok(SpillManifest {
+        format,
+        width,
+        rows,
+        tiles,
+        merges,
+    })
+}
+
+/// A fresh scratch directory under the system temp dir for spills that
+/// do not outlive the run (demos, tests): unique per `tag`, process and
+/// thread, and removed first if a previous run left it behind.
+pub fn temp_spill_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ccl_tiles_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Reconstructs the exact labeling from a spill directory: reads the
+/// manifest, loads every tile, applies the merge table (a no-op on
+/// patched spills) and canonically renumbers into a [`LabelImage`].
+/// The *reader* holds the whole image — the spill itself was produced in
+/// O(tile) memory.
+pub fn read_spilled_label_image(dir: impl AsRef<Path>) -> Result<LabelImage, TilesError> {
+    let dir = dir.as_ref();
+    let manifest = read_manifest(dir)?;
+    let mut gids = vec![0u64; manifest.width * manifest.rows];
+    for meta in &manifest.tiles {
+        let tile = read_tile(
+            &SpillSink::tile_path(dir, manifest.format, meta),
+            manifest.format,
+            meta,
+        )?;
+        blit(&mut gids, manifest.width, meta, &tile);
+    }
+    Ok(reconcile(
+        manifest.width,
+        manifest.rows,
+        gids,
+        &manifest.merges,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        temp_spill_dir(tag)
+    }
+
+    fn meta(tr: usize, tc: usize, r0: usize, c0: usize, w: usize, h: usize) -> TileMeta {
+        TileMeta {
+            tile_row: tr,
+            tile_col: tc,
+            row0: r0,
+            col0: c0,
+            width: w,
+            height: h,
+        }
+    }
+
+    #[test]
+    fn collect_tiles_reconciles_merges() {
+        let mut sink = CollectTiles::default();
+        sink.tile(&meta(0, 0, 0, 0, 2, 1), &[1, 0]).unwrap();
+        sink.tile(&meta(0, 1, 0, 2, 1, 1), &[2]).unwrap();
+        sink.merge(1, 2);
+        sink.tile(&meta(1, 0, 1, 0, 2, 1), &[1, 1]).unwrap();
+        sink.tile(&meta(1, 1, 1, 2, 1, 1), &[2]).unwrap();
+        let li = sink.into_label_image();
+        assert_eq!(li.num_components(), 1);
+        assert_eq!(li.as_slice(), &[1, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn spill_round_trip_raw_u32() {
+        let dir = temp_dir("raw");
+        let mut sink = SpillSink::create(&dir, SpillFormat::RawU32).unwrap();
+        sink.tile(&meta(0, 0, 0, 0, 2, 2), &[1, 0, 1, 2]).unwrap();
+        sink.tile(&meta(0, 1, 0, 2, 2, 2), &[0, 3, 2, 0]).unwrap();
+        sink.merge(2, 3);
+        sink.tile(&meta(1, 0, 2, 0, 2, 1), &[0, 2]).unwrap();
+        sink.tile(&meta(1, 1, 2, 2, 2, 1), &[2, 0]).unwrap();
+        assert_eq!(sink.tiles_spilled(), 4);
+        let manifest = sink.close().unwrap();
+        assert_eq!(manifest.width, 4);
+        assert_eq!(manifest.rows, 3);
+        assert_eq!(manifest.merges, vec![(2, 3)]);
+
+        // files were patched: absorbed id 3 no longer appears
+        let back = read_manifest(&dir).unwrap();
+        assert_eq!(back, manifest);
+        let raw = read_tile(
+            &SpillSink::tile_path(&dir, SpillFormat::RawU32, &back.tiles[1]),
+            SpillFormat::RawU32,
+            &back.tiles[1],
+        )
+        .unwrap();
+        assert_eq!(raw, vec![0, 2, 2, 0]);
+
+        let li = read_spilled_label_image(&dir).unwrap();
+        assert_eq!(li.num_components(), 2);
+        assert_eq!(li.as_slice(), &[1, 0, 0, 2, 1, 2, 2, 0, 0, 2, 2, 0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spill_round_trip_pgm16() {
+        let dir = temp_dir("pgm");
+        let mut sink = SpillSink::create(&dir, SpillFormat::Pgm16).unwrap();
+        sink.tile(&meta(0, 0, 0, 0, 3, 1), &[1, 0, 2]).unwrap();
+        sink.merge(1, 2);
+        let manifest = sink.close().unwrap();
+        assert_eq!(manifest.format, SpillFormat::Pgm16);
+        // the spilled tile is a well-formed 16-bit PGM
+        let bytes = fs::read(SpillSink::tile_path(
+            &dir,
+            SpillFormat::Pgm16,
+            &manifest.tiles[0],
+        ))
+        .unwrap();
+        let (w, h, samples) = pgm::read_binary16(&bytes).unwrap();
+        assert_eq!((w, h), (3, 1));
+        assert_eq!(samples, vec![1, 0, 1]); // patched
+        let li = read_spilled_label_image(&dir).unwrap();
+        assert_eq!(li.num_components(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pgm16_overflow_is_reported() {
+        let dir = temp_dir("overflow");
+        let mut sink = SpillSink::create(&dir, SpillFormat::Pgm16).unwrap();
+        let err = sink.tile(&meta(0, 0, 0, 0, 1, 1), &[70_000]).unwrap_err();
+        assert!(matches!(err, TilesError::LabelOverflow { gid: 70_000, .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unpatched_spill_still_reconstructs() {
+        // write tiles + manifest by hand without patching: the reader's
+        // merge resolution alone must recover the partition
+        let dir = temp_dir("unpatched");
+        fs::create_dir_all(&dir).unwrap();
+        let tiles = vec![meta(0, 0, 0, 0, 2, 1), meta(0, 1, 0, 2, 2, 1)];
+        let manifest = SpillManifest {
+            format: SpillFormat::RawU32,
+            width: 4,
+            rows: 1,
+            tiles: tiles.clone(),
+            merges: vec![(1, 2)],
+        };
+        write_manifest(&dir, &manifest).unwrap();
+        let sink = SpillSink {
+            dir: dir.clone(),
+            format: SpillFormat::RawU32,
+            tiles: Vec::new(),
+            merges: Vec::new(),
+        };
+        sink.write_tile(&tiles[0], &[1, 1]).unwrap();
+        sink.write_tile(&tiles[1], &[2, 2]).unwrap();
+        let li = read_spilled_label_image(&dir).unwrap();
+        assert_eq!(li.num_components(), 1);
+        assert_eq!(li.as_slice(), &[1, 1, 1, 1]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        let dir = temp_dir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(read_manifest(&dir).is_err()); // missing file
+        fs::write(dir.join(MANIFEST_NAME), "not a manifest\n").unwrap();
+        assert!(read_manifest(&dir).is_err());
+        fs::write(
+            dir.join(MANIFEST_NAME),
+            format!("{MANIFEST_MAGIC}\nformat raw-u32\nwidth x\n"),
+        )
+        .unwrap();
+        assert!(read_manifest(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_rejects_tiles_exceeding_declared_extent() {
+        // a 4-wide tile in a declared 2x1 grid must be Err, not a panic
+        // in the reader's blit
+        let dir = temp_dir("oob");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(MANIFEST_NAME),
+            format!(
+                "{MANIFEST_MAGIC}\nformat raw-u32\nwidth 2\nrows 1\ntiles 1\n\
+                 tile 0 0 0 0 4 1\nmerges 0\n"
+            ),
+        )
+        .unwrap();
+        let err = read_manifest(&dir).unwrap_err();
+        assert!(matches!(err, TilesError::Manifest(_)), "{err}");
+        assert!(read_spilled_label_image(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,308 @@
+//! Integration tests: tile-grid labeling is equivalent (up to label
+//! renaming) to whole-image AREMSP across tile shapes, synthetic
+//! generators and thread counts, while never holding more than one tile
+//! row plus the carry row — and the spill-to-disk sink reconstructs the
+//! exact partition from its tiles + sidecar merge table.
+
+use proptest::prelude::*;
+
+use ccl_core::seq::aremsp;
+use ccl_core::verify::labelings_equivalent;
+use ccl_datasets::synth::adversarial::{
+    comb, fine_checkerboard, hstripes, serpentine, spiral, vstripes,
+};
+use ccl_datasets::synth::blobs::{blob_field, BlobParams};
+use ccl_datasets::synth::landcover::{landcover, LandcoverParams};
+use ccl_datasets::synth::noise::bernoulli;
+use ccl_datasets::synth::shapes::{shape_scene, text_page};
+use ccl_datasets::synth::stream::bernoulli_stream;
+use ccl_datasets::synth::texture::{checkerboard, grating, rings, stripes};
+use ccl_image::BinaryImage;
+use ccl_stream::ComponentRecord;
+use ccl_tiles::{
+    analyze_tiles, read_spilled_label_image, spill_tiles, temp_spill_dir, tiles_to_label_image,
+    GridSource, SpillFormat, TileGridConfig,
+};
+
+/// One image per synthetic generator family (mirrors the `ccl-stream`
+/// equivalence suite).
+fn generator_image(idx: usize, w: usize, h: usize, seed: u64) -> BinaryImage {
+    let params = BlobParams {
+        coverage: 0.35,
+        min_radius: 1,
+        max_radius: 4,
+    };
+    let lc = LandcoverParams {
+        base_scale: 6.0,
+        octaves: 3,
+        persistence: 0.5,
+    };
+    match idx {
+        0 => bernoulli(w, h, 0.45, seed),
+        1 => landcover(w, h, lc, seed),
+        2 => blob_field(w, h, params, seed),
+        3 => shape_scene(w, h, 1 + (seed % 7) as usize, seed),
+        4 => text_page(w, h, 1, seed),
+        5 => checkerboard(w, h, 1 + (seed % 3) as usize),
+        6 => stripes(w, h, 5, 2, (1, 1)),
+        7 => grating(w, h, 0.31, 0.17, 0.4),
+        8 => rings(w, h, 4.0),
+        9 => serpentine(w, h),
+        10 => comb(w, h, h / 2),
+        11 => fine_checkerboard(w, h),
+        12 => hstripes(w, h),
+        13 => vstripes(w, h),
+        _ => spiral(w.max(3)),
+    }
+}
+
+const NUM_GENERATORS: usize = 15;
+
+/// Per-component features keyed by the raster-first anchor, including the
+/// streamed perimeter; the whole-image side recomputes everything brute
+/// force so the comparison is an independent oracle.
+type Features = Vec<(
+    (usize, usize),
+    u64,
+    (usize, usize, usize, usize),
+    (f64, f64),
+    u64,
+)>;
+
+fn whole_image_features(img: &BinaryImage) -> Features {
+    let labels = aremsp(img);
+    let n = labels.num_components() as usize;
+    let w = img.width();
+    let mut area = vec![0u64; n + 1];
+    let mut bbox = vec![(usize::MAX, usize::MAX, 0usize, 0usize); n + 1];
+    let mut sums = vec![(0f64, 0f64); n + 1];
+    let mut anchor = vec![(usize::MAX, usize::MAX); n + 1];
+    let mut perimeter = vec![0u64; n + 1];
+    for r in 0..img.height() {
+        for c in 0..w {
+            let l = labels.get(r, c) as usize;
+            if l == 0 {
+                continue;
+            }
+            area[l] += 1;
+            let b = &mut bbox[l];
+            b.0 = b.0.min(r);
+            b.1 = b.1.min(c);
+            b.2 = b.2.max(r);
+            b.3 = b.3.max(c);
+            sums[l].0 += r as f64;
+            sums[l].1 += c as f64;
+            if anchor[l] == (usize::MAX, usize::MAX) {
+                anchor[l] = (r, c);
+            }
+            perimeter[l] += [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)]
+                .iter()
+                .filter(|&&(dr, dc)| img.get_or_bg(r as isize + dr, c as isize + dc) == 0)
+                .count() as u64;
+        }
+    }
+    let mut out: Features = (1..=n)
+        .map(|l| {
+            (
+                anchor[l],
+                area[l],
+                bbox[l],
+                (sums[l].0 / area[l] as f64, sums[l].1 / area[l] as f64),
+                perimeter[l],
+            )
+        })
+        .collect();
+    out.sort_unstable_by_key(|f| f.0);
+    out
+}
+
+fn record_features(records: &[ComponentRecord]) -> Features {
+    let mut out: Features = records
+        .iter()
+        .map(|r| (r.anchor, r.area, r.bbox, r.centroid, r.perimeter))
+        .collect();
+    out.sort_unstable_by_key(|f| f.0);
+    out
+}
+
+fn tiled_features(img: &BinaryImage, tw: usize, th: usize, cfg: TileGridConfig) -> Features {
+    let mut src = GridSource::from_image(img, tw, th);
+    let (records, stats) = analyze_tiles(&mut src, cfg).unwrap();
+    assert_eq!(stats.components as usize, records.len());
+    assert!(stats.peak_resident_rows <= 2 * th);
+    record_features(&records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tentpole acceptance: tile-grid analysis (count / area / bbox /
+    /// centroid / perimeter) equals whole-image AREMSP + brute-force
+    /// analysis, across tile shapes 1×1..=W×H and all generators.
+    #[test]
+    fn grid_analysis_matches_whole_image(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=18,
+        h in 1usize..=18,
+        tw in 1usize..=19,
+        th in 1usize..=19,
+        seed in 0u64..1000,
+    ) {
+        let img = generator_image(gen, w, h, seed);
+        let expected = whole_image_features(&img);
+        let got = tiled_features(&img, tw, th, TileGridConfig::default());
+        prop_assert_eq!(got, expected, "generator {} tiles {}x{}", gen, tw, th);
+    }
+
+    /// The in-row PAREMSP mode is output-identical to the sequential
+    /// mode, for every merger and thread count.
+    #[test]
+    fn parallel_mode_matches_sequential(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=16,
+        h in 1usize..=16,
+        tw in 1usize..=9,
+        th in 1usize..=9,
+        threads in 2usize..=8,
+        cas in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use ccl_core::par::MergerKind;
+        let img = generator_image(gen, w, h, seed);
+        let cfg = TileGridConfig::parallel(threads)
+            .with_merger(if cas { MergerKind::Cas } else { MergerKind::Locked });
+        let seq = tiled_features(&img, tw, th, TileGridConfig::sequential());
+        let par = tiled_features(&img, tw, th, cfg);
+        prop_assert_eq!(par, seq, "generator {} threads {}", gen, threads);
+    }
+
+    /// Labeled-tile output reconciles into the exact whole-image
+    /// partition.
+    #[test]
+    fn tile_labels_reconcile_to_aremsp_partition(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=14,
+        h in 1usize..=14,
+        tw in 1usize..=8,
+        th in 1usize..=8,
+        seed in 0u64..1000,
+    ) {
+        let img = generator_image(gen, w, h, seed);
+        let mut src = GridSource::from_image(&img, tw, th);
+        let (li, stats) = tiles_to_label_image(&mut src, TileGridConfig::default()).unwrap();
+        let reference = aremsp(&img);
+        prop_assert_eq!(stats.components, reference.num_components() as u64);
+        prop_assert!(labelings_equivalent(&li, &reference));
+    }
+}
+
+/// Spill round-trip at moderate scale, both formats: the spilled tiles +
+/// sidecar merge table reconstruct the exact partition.
+#[test]
+fn spilled_tiles_reconstruct_exact_partition() {
+    let img = blob_field(
+        120,
+        90,
+        BlobParams {
+            coverage: 0.35,
+            min_radius: 1,
+            max_radius: 5,
+        },
+        21,
+    );
+    let reference = aremsp(&img);
+    for (format, tag) in [(SpillFormat::RawU32, "raw"), (SpillFormat::Pgm16, "pgm")] {
+        let dir = temp_spill_dir(tag);
+        let mut src = GridSource::from_image(&img, 32, 16);
+        let (manifest, stats) =
+            spill_tiles(&mut src, TileGridConfig::default(), &dir, format).unwrap();
+        assert_eq!(manifest.width, 120);
+        assert_eq!(manifest.rows, 90);
+        assert_eq!(stats.components, reference.num_components() as u64);
+        let li = read_spilled_label_image(&dir).unwrap();
+        assert!(labelings_equivalent(&li, &reference), "{tag}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Acceptance-criteria shape at CI-friendly scale: a generator-fed grid,
+/// never materialized on input, spilled on output, reconstructing the
+/// exact whole-image partition with ≤ 2 tile rows resident.
+#[test]
+fn streamed_grid_spills_and_reconstructs() {
+    let (w, h, tile) = (256, 2048, 64);
+    let dir = temp_spill_dir("it_streamed");
+    let source = bernoulli_stream(w, h, 0.5, 99);
+    let mut grid = GridSource::new(source, tile, tile);
+    let (manifest, stats) = spill_tiles(
+        &mut grid,
+        TileGridConfig::default(),
+        &dir,
+        SpillFormat::RawU32,
+    )
+    .unwrap();
+    assert_eq!(stats.rows, h);
+    assert!(stats.peak_resident_rows <= 2 * tile);
+    assert_eq!(manifest.tiles.len(), (w / tile) * (h / tile));
+
+    let img = bernoulli(w, h, 0.5, 99);
+    let reference = aremsp(&img);
+    assert_eq!(stats.components, reference.num_components() as u64);
+    let li = read_spilled_label_image(&dir).unwrap();
+    assert!(labelings_equivalent(&li, &reference));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The full acceptance run: a 12,288 × 8,192 grid (100.7 Mpixel) streamed
+/// from a generator in 512×512 tiles — at most 2 tile rows (1,025 pixel
+/// rows) resident — while the spill sink writes every labeled tile to
+/// disk; the spilled tiles + sidecar merge table then reconstruct the
+/// exact whole-image partition. Ignored by default (minutes in debug
+/// builds); run with `cargo test --release -p ccl-tiles -- --ignored`.
+#[test]
+#[ignore = "100-Mpixel acceptance run; use cargo test --release -- --ignored"]
+fn hundred_megapixel_grid_bounded_memory_and_spill() {
+    let (w, h, tile) = (12_288usize, 8_192usize, 512usize);
+    assert!(w * h >= 100_000_000, "acceptance demands >= 100 Mpixel");
+    let dir = temp_spill_dir("it_gigascale");
+
+    let source = bernoulli_stream(w, h, 0.5, 4242);
+    let mut grid = GridSource::new(source, tile, tile);
+    let (manifest, stats) = spill_tiles(
+        &mut grid,
+        TileGridConfig::default(),
+        &dir,
+        SpillFormat::RawU32,
+    )
+    .unwrap();
+    assert_eq!(stats.rows, h);
+    assert_eq!(stats.tiles, (w / tile) * (h / tile));
+    assert!(
+        stats.peak_resident_rows <= 2 * tile,
+        "resident rows exceeded two tile rows"
+    );
+    assert_eq!(stats.peak_resident_rows, tile + 1);
+    assert_eq!(manifest.tiles.len(), stats.tiles);
+
+    let img = bernoulli(w, h, 0.5, 4242);
+    let reference = aremsp(&img);
+    assert_eq!(stats.components, reference.num_components() as u64);
+    let li = read_spilled_label_image(&dir).unwrap();
+    assert!(labelings_equivalent(&li, &reference));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Netpbm end to end: write a PGM, window-read it in tiles, label, and
+/// match the whole-image pipeline (decode + im2bw + AREMSP).
+#[test]
+fn netpbm_window_reader_end_to_end() {
+    let gray = ccl_image::GrayImage::from_fn(96, 70, |r, c| ((r * 13 + c * 7) % 256) as u8);
+    let bytes = ccl_image::io::pgm::write_binary(&gray);
+    let img = ccl_image::threshold::im2bw(&gray, 0.5);
+
+    let mut src = GridSource::pgm(bytes.as_slice(), 0.5, 24, 16).unwrap();
+    let (records, stats) = analyze_tiles(&mut src, TileGridConfig::default()).unwrap();
+    assert_eq!(stats.rows, 70);
+    assert!(stats.peak_resident_rows <= 17);
+    assert_eq!(record_features(&records), whole_image_features(&img));
+}

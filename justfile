@@ -2,7 +2,7 @@
 # local runs and CI cannot drift. `just ci` is the full gate.
 
 # Full CI gate: everything the workflow runs, in the same order.
-ci: fmt-check clippy build test doc smoke stream-smoke bench-smoke
+ci: fmt-check clippy build test doc smoke stream-smoke tiles-smoke bench-smoke
 
 # Format the whole workspace in place.
 fmt:
@@ -36,6 +36,10 @@ smoke:
 stream-smoke:
     cargo run --locked --release --example stream_components
 
+# Run the tile-grid spill (ccl-tiles) example end to end.
+tiles-smoke:
+    cargo run --locked --release --example tiles_outofcore
+
 # Compile all ten criterion benches without running them.
 bench-smoke:
     cargo bench --locked --no-run --workspace
@@ -53,3 +57,8 @@ repro:
 # analysis identical to whole-image AREMSP, <= 2 bands resident.
 stream-stress:
     cargo test --release -p ccl-stream --test stream_equivalence -- --ignored
+
+# Full-scale tile-grid acceptance run: 100 Mpixel in 512x512 tiles with
+# spill-to-disk output, <= 2 tile rows resident, exact reconstruction.
+tiles-stress:
+    cargo test --release -p ccl-tiles --test tiles_equivalence -- --ignored

@@ -4,7 +4,7 @@
 //! for Two-Pass Connected Component Labeling"* (Gupta, Palsetia, Patwary,
 //! Agrawal, Choudhary; IPPS 2014).
 //!
-//! This crate re-exports the five component crates under stable module
+//! This crate re-exports the six component crates under stable module
 //! names so applications need a single dependency:
 //!
 //! * [`image`] — binary/gray/RGB rasters, thresholding (`im2bw`), Netpbm
@@ -19,6 +19,10 @@
 //! * [`stream`] — bounded-memory streaming labeling: row-band sources,
 //!   the strip labeler with on-the-fly component analysis, and labeled
 //!   strip output — gigapixel rasters in O(band) memory
+//! * [`tiles`] — the 2-D generalization: tile-grid sources, the grid
+//!   labeler (vertical *and* horizontal seam merges over a tile row),
+//!   and spill-to-disk label output with a sidecar merge table — both
+//!   input and output bounded by O(tile row)
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@ pub use ccl_core as core;
 pub use ccl_datasets as datasets;
 pub use ccl_image as image;
 pub use ccl_stream as stream;
+pub use ccl_tiles as tiles;
 pub use ccl_unionfind as unionfind;
 
 /// The most commonly used items, re-exported flat.
@@ -68,5 +73,9 @@ pub mod prelude {
     pub use ccl_stream::{
         analyze_stream, label_stream, stream_to_label_image, ComponentRecord, ComponentSink,
         MemorySource, RowSource, StreamStats, StripConfig, StripLabeler,
+    };
+    pub use ccl_tiles::{
+        analyze_tiles, read_spilled_label_image, spill_tiles, tiles_to_label_image, GridSource,
+        SpillFormat, TileGridConfig, TileGridLabeler, TileGridStats, TileSource,
     };
 }
