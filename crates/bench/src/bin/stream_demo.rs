@@ -20,6 +20,7 @@ use ccl_bench::BinArgs;
 use ccl_datasets::harness::time_best_of;
 use ccl_datasets::report::{write_json, Table};
 use ccl_datasets::synth::stream::bernoulli_stream;
+use ccl_pipeline::PrefetchRows;
 use ccl_stream::{label_stream, CountComponents, StripConfig};
 use serde::Serialize;
 
@@ -27,6 +28,8 @@ const USAGE: &str = "stream_demo: bounded-memory streaming throughput vs image h
   --reps N         repetitions per cell (default 3)
   --threads CSV    in-band scan thread counts (default 1,4)
   --merger KIND    boundary merger for parallel mode: locked (default) or cas
+  --prefetch       generate bands on a worker thread (ccl-pipeline adapter)
+  --depth N        prefetch queue depth (default 2)
   --json PATH      snapshot path (default results/BENCH_stream.json)";
 
 const WIDTH: usize = 1024;
@@ -57,6 +60,9 @@ struct StreamBench {
     density: f64,
     threads: Vec<usize>,
     merger: String,
+    /// Whether band generation ran on a `ccl-pipeline` prefetch worker
+    /// (`--prefetch`), overlapping generation with labeling.
+    prefetch: bool,
     rows: Vec<StreamRow>,
 }
 
@@ -71,7 +77,8 @@ fn main() {
 
     println!(
         "Streaming {WIDTH}-wide Bernoulli rasters in {BAND_ROWS}-row bands \
-         (density {DENSITY}, merger {merger})\n"
+         (density {DENSITY}, merger {merger}{})\n",
+        if args.prefetch { ", prefetched" } else { "" }
     );
     let mut table = Table::new(
         [
@@ -97,10 +104,16 @@ fn main() {
         for &t in &threads {
             let cfg = StripConfig::parallel(t).with_merger(merger);
             let best = time_best_of(args.reps, || {
-                let mut source = bernoulli_stream(WIDTH, height, DENSITY, height as u64);
+                let source = bernoulli_stream(WIDTH, height, DENSITY, height as u64);
                 let mut sink = CountComponents::default();
-                let stats = label_stream(&mut source, BAND_ROWS, cfg.clone(), &mut sink)
-                    .expect("generator streams are infallible");
+                let stats = if args.prefetch {
+                    let mut staged = PrefetchRows::with_depth(source, BAND_ROWS, args.depth);
+                    label_stream(&mut staged, BAND_ROWS, cfg.clone(), &mut sink)
+                } else {
+                    let mut source = source;
+                    label_stream(&mut source, BAND_ROWS, cfg.clone(), &mut sink)
+                }
+                .expect("generator streams are infallible");
                 components = stats.components;
                 peak = stats.peak_resident_rows;
                 stats
@@ -145,6 +158,7 @@ fn main() {
         density: DENSITY,
         threads,
         merger: merger.to_string(),
+        prefetch: args.prefetch,
         rows,
     };
     if let Some(dir) = std::path::Path::new(&json_path).parent() {

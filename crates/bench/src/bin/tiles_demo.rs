@@ -23,14 +23,21 @@ use ccl_bench::BinArgs;
 use ccl_datasets::harness::time_best_of;
 use ccl_datasets::report::{write_json, Table};
 use ccl_datasets::synth::stream::bernoulli_stream;
+use ccl_pipeline::PrefetchTiles;
 use ccl_stream::CountComponents;
-use ccl_tiles::{label_tiles, spill_tiles, GridSource, SpillFormat, TileGridConfig};
+use ccl_tiles::{
+    label_tiles, label_tiles_pipelined, spill_tiles, spill_tiles_pipelined, GridSource,
+    SpillFormat, TileGridConfig, TileGridStats, TilesError,
+};
 use serde::Serialize;
 
 const USAGE: &str = "tiles_demo: 2-D tile-grid out-of-core labeling throughput vs image height
   --reps N         repetitions per cell (default 3)
   --threads CSV    in-row scan thread counts (default 1,4)
   --merger KIND    boundary merger for parallel mode: locked (default) or cas
+  --prefetch       generate tile rows on a worker thread (ccl-pipeline adapter)
+  --pipeline       overlap row k's merge/spill with row k+1's scans
+  --depth N        prefetch queue depth (default 2)
   --json PATH      snapshot path (default results/BENCH_tiles.json)";
 
 const WIDTH: usize = 1024;
@@ -61,12 +68,46 @@ struct TilesBench {
     density: f64,
     threads: Vec<usize>,
     merger: String,
+    /// Whether tile-row generation ran on a `ccl-pipeline` prefetch
+    /// worker (`--prefetch`).
+    prefetch: bool,
+    /// Whether the pipelined scan ∥ merge executor ran (`--pipeline`).
+    pipeline: bool,
     rows: Vec<TilesRow>,
     /// Wall milliseconds of the fully out-of-core pipeline (label +
     /// spill raw-u32 tiles to disk + patch on close) at the smallest
     /// height, sequential mode.
     spill_ms: f64,
     spill_height: usize,
+}
+
+/// Labels one generated grid with the mode the flags selected.
+fn run_labeling(
+    args: &BinArgs,
+    cfg: &TileGridConfig,
+    height: usize,
+) -> Result<TileGridStats, TilesError> {
+    let source = bernoulli_stream(WIDTH, height, DENSITY, height as u64);
+    let grid = GridSource::new(source, TILE, TILE);
+    let mut sink = CountComponents::default();
+    match (args.prefetch, args.pipeline) {
+        (true, true) => {
+            let mut staged = PrefetchTiles::with_depth(grid, args.depth);
+            label_tiles_pipelined(&mut staged, cfg.clone(), &mut sink)
+        }
+        (true, false) => {
+            let mut staged = PrefetchTiles::with_depth(grid, args.depth);
+            label_tiles(&mut staged, cfg.clone(), &mut sink)
+        }
+        (false, true) => {
+            let mut grid = grid;
+            label_tiles_pipelined(&mut grid, cfg.clone(), &mut sink)
+        }
+        (false, false) => {
+            let mut grid = grid;
+            label_tiles(&mut grid, cfg.clone(), &mut sink)
+        }
+    }
 }
 
 fn main() {
@@ -78,9 +119,15 @@ fn main() {
         .clone()
         .unwrap_or_else(|| "results/BENCH_tiles.json".to_string());
 
+    let mode = match (args.prefetch, args.pipeline) {
+        (true, true) => ", decode∥scan∥merge",
+        (true, false) => ", prefetched",
+        (false, true) => ", scan∥merge",
+        (false, false) => "",
+    };
     println!(
         "Tiling {WIDTH}-wide Bernoulli rasters into {TILE}x{TILE} tiles \
-         (density {DENSITY}, merger {merger})\n"
+         (density {DENSITY}, merger {merger}{mode})\n"
     );
     let mut table = Table::new(
         [
@@ -106,11 +153,8 @@ fn main() {
         for &t in &threads {
             let cfg = TileGridConfig::parallel(t).with_merger(merger);
             let best = time_best_of(args.reps, || {
-                let source = bernoulli_stream(WIDTH, height, DENSITY, height as u64);
-                let mut grid = GridSource::new(source, TILE, TILE);
-                let mut sink = CountComponents::default();
-                let stats = label_tiles(&mut grid, cfg.clone(), &mut sink)
-                    .expect("generator streams are infallible");
+                let stats =
+                    run_labeling(&args, &cfg, height).expect("generator streams are infallible");
                 components = stats.components;
                 peak = stats.peak_resident_rows;
                 stats
@@ -143,26 +187,44 @@ fn main() {
         rows.push(row);
     }
     println!("{}", table.render());
-    println!(
-        "Resident rows stay at {} (tile row + carry row) at every height: \
-         labeling memory is O(tile row), not O(image).",
-        TILE + 1
-    );
+    if args.pipeline {
+        println!(
+            "Resident rows stay at {} (two tile rows + carry row) at every \
+             height: labeling memory is O(tile row), not O(image).",
+            2 * TILE + 1
+        );
+    } else {
+        println!(
+            "Resident rows stay at {} (tile row + carry row) at every height: \
+             labeling memory is O(tile row), not O(image).",
+            TILE + 1
+        );
+    }
 
     // The fully out-of-core pipeline: spill labeled tiles to disk and
-    // patch final ids on close.
+    // patch final ids on close (pipelined overlaps the spill writes with
+    // the next row's scans when --pipeline is set).
     let spill_height = HEIGHTS[0];
     let spill_dir = ccl_tiles::temp_spill_dir("demo");
     let spill_ms = time_best_of(args.reps, || {
         let _ = std::fs::remove_dir_all(&spill_dir);
         let source = bernoulli_stream(WIDTH, spill_height, DENSITY, spill_height as u64);
         let mut grid = GridSource::new(source, TILE, TILE);
-        spill_tiles(
-            &mut grid,
-            TileGridConfig::default(),
-            &spill_dir,
-            SpillFormat::RawU32,
-        )
+        if args.pipeline {
+            spill_tiles_pipelined(
+                &mut grid,
+                TileGridConfig::default(),
+                &spill_dir,
+                SpillFormat::RawU32,
+            )
+        } else {
+            spill_tiles(
+                &mut grid,
+                TileGridConfig::default(),
+                &spill_dir,
+                SpillFormat::RawU32,
+            )
+        }
         .expect("spill to temp dir")
     });
     let _ = std::fs::remove_dir_all(&spill_dir);
@@ -179,6 +241,8 @@ fn main() {
         density: DENSITY,
         threads,
         merger: merger.to_string(),
+        prefetch: args.prefetch,
+        pipeline: args.pipeline,
         rows,
         spill_ms,
         spill_height,

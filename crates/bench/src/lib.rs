@@ -86,7 +86,8 @@ pub fn paremsp_phase_ms_best_of(
 
 /// Tiny CLI-argument helper shared by the table binaries: supports
 /// `--scale <f64>`, `--reps <usize>`, `--threads <csv>`, `--json <path>`,
-/// `--merger <locked|cas>`, `--print-sizes` and `--help`.
+/// `--merger <locked|cas>`, `--prefetch`, `--pipeline`, `--depth <n>`,
+/// `--print-sizes` and `--help`.
 #[derive(Debug, Clone)]
 pub struct BinArgs {
     /// NLCD scale factor (fraction of the Table III sizes).
@@ -100,6 +101,14 @@ pub struct BinArgs {
     /// Optional boundary-merger override (parsed via
     /// [`MergerKind::from_str`](std::str::FromStr)).
     pub merger: Option<ccl_core::par::MergerKind>,
+    /// `--prefetch`: wrap the source in a `ccl-pipeline` prefetcher
+    /// (decode on a worker thread).
+    pub prefetch: bool,
+    /// `--pipeline`: use the pipelined tile-row executor
+    /// (scan ∥ merge) where the binary supports it.
+    pub pipeline: bool,
+    /// `--depth <n>`: prefetch queue depth (default 2).
+    pub depth: usize,
     /// `--print-sizes` flag (fig5: print Table III).
     pub print_sizes: bool,
 }
@@ -112,6 +121,9 @@ impl Default for BinArgs {
             json: None,
             threads: None,
             merger: None,
+            prefetch: false,
+            pipeline: false,
+            depth: 2,
             print_sizes: false,
         }
     }
@@ -171,6 +183,18 @@ impl BinArgs {
                         eprintln!("invalid --merger: {e}\n{usage}");
                         std::process::exit(2);
                     }))
+                }
+                "--prefetch" => out.prefetch = true,
+                "--pipeline" => out.pipeline = true,
+                "--depth" => {
+                    out.depth = value("--depth")
+                        .parse()
+                        .ok()
+                        .filter(|&d| d >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("invalid --depth\n{usage}");
+                            std::process::exit(2);
+                        })
                 }
                 "--print-sizes" => out.print_sizes = true,
                 "--help" | "-h" => {
@@ -257,6 +281,9 @@ mod tests {
         assert!(a.reps >= 1);
         assert!(a.json.is_none());
         assert!(a.merger.is_none());
+        assert!(!a.prefetch);
+        assert!(!a.pipeline);
+        assert_eq!(a.depth, 2);
         assert!(!a.print_sizes);
     }
 

@@ -67,6 +67,65 @@ pub fn euler_number(image: &BinaryImage, conn: Connectivity) -> i64 {
     components - count_holes(image, conn) as i64
 }
 
+/// Per-component hole counts (8-connected foreground / 4-connected
+/// background) from a labeling, via a direct `χ = V − E + F` census of
+/// every component's closed pixel complex in one O(pixels) pass:
+/// `holes = 1 − χ` for a connected component. Any two pixels sharing a
+/// vertex or an edge of the complex are 8-adjacent — hence in the same
+/// component — so every cell belongs to exactly one label and per-label
+/// counting is well-defined. Index `l - 1` holds label `l`'s count.
+///
+/// This is the whole-image oracle for the streamed Euler fold in
+/// `ccl-stream` (`ComponentRecord::holes`).
+pub fn count_holes_per_label(labels: &LabelImage) -> Vec<u64> {
+    let (w, h) = (labels.width() as isize, labels.height() as isize);
+    let get = |r: isize, c: isize| -> u32 {
+        if r < 0 || c < 0 || r >= h || c >= w {
+            0
+        } else {
+            labels.get(r as usize, c as usize)
+        }
+    };
+    let mut chi = vec![0i64; labels.num_components() as usize + 1];
+    // faces (pixels)
+    for r in 0..h {
+        for c in 0..w {
+            let l = get(r, c);
+            if l != 0 {
+                chi[l as usize] += 1;
+            }
+        }
+    }
+    // vertices (grid points), owned by any incident pixel's label
+    for r in 0..=h {
+        for c in 0..=w {
+            let owner = [get(r - 1, c - 1), get(r - 1, c), get(r, c - 1), get(r, c)]
+                .into_iter()
+                .find(|&l| l != 0);
+            if let Some(l) = owner {
+                chi[l as usize] += 1;
+            }
+        }
+    }
+    // horizontal edges between squares (r-1, c) and (r, c)
+    for r in 0..=h {
+        for c in 0..w {
+            if let Some(l) = [get(r - 1, c), get(r, c)].into_iter().find(|&l| l != 0) {
+                chi[l as usize] -= 1;
+            }
+        }
+    }
+    // vertical edges between squares (r, c-1) and (r, c)
+    for r in 0..h {
+        for c in 0..=w {
+            if let Some(l) = [get(r, c - 1), get(r, c)].into_iter().find(|&l| l != 0) {
+                chi[l as usize] -= 1;
+            }
+        }
+    }
+    chi.iter().skip(1).map(|&x| (1 - x).max(0) as u64).collect()
+}
+
 /// Per-component summary produced by [`region_properties`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Region {
@@ -148,6 +207,28 @@ mod tests {
         let solid = BinaryImage::ones(4, 4);
         assert_eq!(count_holes(&solid, Connectivity::Eight), 0);
         assert_eq!(euler_number(&solid, Connectivity::Eight), 1);
+    }
+
+    #[test]
+    fn per_label_holes_census() {
+        // figure-eight (2 holes), a lone pixel (0), and a diagonal-gap
+        // ring (1 hole) — per component, attributed by label
+        let img = BinaryImage::parse(
+            "#####..##
+             #.#.#.#.#
+             #####.##.",
+        );
+        let labels = flood_fill_label(&img);
+        let per_label = count_holes_per_label(&labels);
+        assert_eq!(per_label.len(), labels.num_components() as usize);
+        let mut sorted = per_label.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+        let total: u64 = per_label.iter().sum();
+        assert_eq!(total, count_holes(&img, Connectivity::Eight) as u64);
+
+        let empty = count_holes_per_label(&flood_fill_label(&BinaryImage::zeros(3, 3)));
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! [`PipelineError`] — the typed failure of a prefetch worker.
+
+use std::fmt;
+
+use ccl_stream::StreamError;
+use ccl_tiles::TilesError;
+
+/// What went wrong behind a prefetcher. Every failure mode of the worker
+/// thread is represented — a source error is forwarded as-is, a panic is
+/// caught at the join and carried as its message — so a failing source
+/// always surfaces to the consumer as a typed error, never a hang.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The wrapped [`RowSource`](ccl_stream::RowSource) failed.
+    Stream(StreamError),
+    /// The wrapped [`TileSource`](ccl_tiles::TileSource) failed.
+    Tiles(TilesError),
+    /// The worker thread panicked; the payload is the panic message.
+    WorkerPanicked(String),
+}
+
+impl PipelineError {
+    /// Builds [`PipelineError::WorkerPanicked`] from a caught panic
+    /// payload (`&str`/`String` payloads pass through as the message,
+    /// anything else becomes a generic one).
+    pub fn worker_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "worker panicked".to_string()
+        };
+        PipelineError::WorkerPanicked(msg)
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Stream(e) => write!(f, "prefetched row source failed: {e}"),
+            PipelineError::Tiles(e) => write!(f, "prefetched tile source failed: {e}"),
+            PipelineError::WorkerPanicked(msg) => write!(f, "prefetch worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Stream(e) => Some(e),
+            PipelineError::Tiles(e) => Some(e),
+            PipelineError::WorkerPanicked(_) => None,
+        }
+    }
+}
+
+impl From<StreamError> for PipelineError {
+    fn from(e: StreamError) -> Self {
+        PipelineError::Stream(e)
+    }
+}
+
+impl From<TilesError> for PipelineError {
+    fn from(e: TilesError) -> Self {
+        PipelineError::Tiles(e)
+    }
+}
+
+/// Surfacing through the [`RowSource`](ccl_stream::RowSource) trait: the
+/// source's own error passes through unchanged; a worker panic becomes
+/// [`StreamError::Worker`].
+impl From<PipelineError> for StreamError {
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Stream(e) => e,
+            PipelineError::Tiles(e) => StreamError::Worker(e.to_string()),
+            PipelineError::WorkerPanicked(msg) => StreamError::Worker(msg),
+        }
+    }
+}
+
+/// Surfacing through the [`TileSource`](ccl_tiles::TileSource) trait: the
+/// source's own error passes through unchanged; a worker panic becomes
+/// [`TilesError::Worker`].
+impl From<PipelineError> for TilesError {
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Tiles(e) => e,
+            PipelineError::Stream(e) => TilesError::Stream(e),
+            PipelineError::WorkerPanicked(msg) => TilesError::Worker(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccl_image::ImageError;
+
+    #[test]
+    fn display_source_and_conversions() {
+        use std::error::Error as _;
+        let e: PipelineError = StreamError::Image(ImageError::Parse("bad header".into())).into();
+        assert!(e.to_string().contains("bad header"));
+        assert!(e.source().is_some());
+
+        let e = PipelineError::WorkerPanicked("index out of bounds".into());
+        assert!(e.to_string().contains("index out of bounds"));
+        assert!(e.source().is_none());
+        let s: StreamError = e.into();
+        assert!(matches!(s, StreamError::Worker(_)));
+
+        let e: PipelineError = TilesError::Manifest("truncated".into()).into();
+        let t: TilesError = e.into();
+        assert!(matches!(t, TilesError::Manifest(_)));
+
+        let t: TilesError = PipelineError::WorkerPanicked("boom".into()).into();
+        assert!(matches!(t, TilesError::Worker(_)));
+    }
+}

@@ -3,9 +3,9 @@
 //! Following Lemaitre & Lacassagne's run-based analysis (PAPERS.md), the
 //! strip labeler never materializes a label image: every component's
 //! features (area, bounding box, centroid, raster-first anchor,
-//! 4-neighbourhood perimeter) are accumulated while its pixels stream
-//! past and emitted exactly once, when the component *closes* (no pixel
-//! on the stream's frontier row).
+//! 4-neighbourhood perimeter, hole count) are accumulated while its
+//! pixels stream past and emitted exactly once, when the component
+//! *closes* (no pixel on the stream's frontier row).
 //!
 //! Consumers implement [`ComponentSink`] (and optionally [`LabelSink`]
 //! for labeled strip output); `Vec<ComponentRecord>` works out of the box
@@ -40,6 +40,12 @@ pub struct ComponentRecord {
     /// summing partial perimeters is exact because 4-adjacent pixels are
     /// always in the same 8-connected component.
     pub perimeter: u64,
+    /// Number of holes: 4-connected background regions fully enclosed by
+    /// this (8-connected) component, via Lemaitre & Lacassagne's
+    /// Euler-characteristic fold — `holes = 1 - χ` where `χ = V − E + F`
+    /// of the component's closed-pixel complex, accumulated per pixel
+    /// from its already-scanned neighbours (see [`Accum::add`]).
+    pub holes: u64,
 }
 
 /// Running accumulator behind a [`ComponentRecord`]. `area == 0` marks an
@@ -69,6 +75,10 @@ pub struct Accum {
     pub anchor: (usize, usize),
     /// 4-neighbourhood boundary edges accumulated so far.
     pub perimeter: u64,
+    /// Euler characteristic `χ = V − E + F` of the closed-pixel complex
+    /// accumulated so far (every vertex, edge and face counted exactly
+    /// once, at the raster-first pixel incident to it).
+    pub euler: i64,
     /// 0 until the component is assigned its [`ComponentId`].
     pub gid: u64,
 }
@@ -85,12 +95,14 @@ impl Accum {
         sum_c: 0.0,
         anchor: (0, 0),
         perimeter: 0,
+        euler: 0,
         gid: 0,
     };
 
     /// Accumulator holding one pixel. A component's first pixel (in
     /// raster order) never has an already-seen 4-neighbour, so it
-    /// contributes the full 4 edges.
+    /// contributes the full 4 edges — and the full square (4 vertices,
+    /// 4 edges, 1 face), so `χ = 1`.
     #[inline]
     pub fn first(r: usize, c: usize) -> Accum {
         Accum {
@@ -103,17 +115,23 @@ impl Accum {
             sum_c: c as f64,
             anchor: (r, c),
             perimeter: 4,
+            euler: 1,
             gid: 0,
         }
     }
 
     /// Adds one pixel. Pixels arrive in raster order, so the anchor never
-    /// moves. `adjacent` is the number of already-scanned foreground
-    /// 4-neighbours (west and north, so 0..=2): each shared edge removes
-    /// one boundary edge from *both* endpoints.
+    /// moves. `west`/`nw`/`north`/`ne` are the four already-scanned
+    /// foreground neighbours of `(r, c)`: each shared 4-edge removes one
+    /// boundary edge from *both* endpoints (perimeter), and the pixel's
+    /// Euler contribution counts only the vertices/edges of its closed
+    /// unit square that no earlier pixel created:
+    /// `Δχ = ΔV − ΔE + 1 = 1 + north − (west|nw|north) − (north|ne)`.
+    /// Every shared vertex/edge joins 8-adjacent pixels, so attributing
+    /// the delta to this pixel's open component keeps per-component sums
+    /// exact across merges.
     #[inline]
-    pub fn add(&mut self, r: usize, c: usize, adjacent: u64) {
-        debug_assert!(adjacent <= 2);
+    pub fn add(&mut self, r: usize, c: usize, west: bool, nw: bool, north: bool, ne: bool) {
         self.area += 1;
         self.min_r = self.min_r.min(r);
         self.min_c = self.min_c.min(c);
@@ -121,14 +139,18 @@ impl Accum {
         self.max_c = self.max_c.max(c);
         self.sum_r += r as f64;
         self.sum_c += c as f64;
-        self.perimeter += 4 - 2 * adjacent;
+        self.perimeter += 4 - 2 * (u64::from(west) + u64::from(north));
+        self.euler +=
+            1 + i64::from(north) - i64::from(west || nw || north) - i64::from(north || ne);
     }
 
     /// Folds another accumulator in (two open components discovered to be
     /// one). Keeps the raster-smaller anchor; the caller resolves the
-    /// surviving `gid`. Perimeters sum exactly: merged components connect
-    /// only through pixels not yet accumulated (the pixel that joins them
-    /// subtracts the shared edges when *it* is added).
+    /// surviving `gid`. Perimeters and Euler characteristics sum exactly:
+    /// every boundary edge / vertex / face was counted once globally, at
+    /// the raster-first pixel incident to it, and any sharing between the
+    /// two halves involves 8-adjacent pixels — which always end up in the
+    /// same merged component.
     pub fn merge_with(&mut self, other: &Accum) {
         self.area += other.area;
         self.min_r = self.min_r.min(other.min_r);
@@ -139,11 +161,15 @@ impl Accum {
         self.sum_c += other.sum_c;
         self.anchor = self.anchor.min(other.anchor);
         self.perimeter += other.perimeter;
+        self.euler += other.euler;
     }
 
-    /// Finishes the accumulator into an emitted record.
+    /// Finishes the accumulator into an emitted record. A connected
+    /// component's Euler characteristic is `1 − holes`, so the hole count
+    /// falls out of the fold.
     pub fn into_record(self) -> ComponentRecord {
         debug_assert!(self.area > 0 && self.gid > 0);
+        debug_assert!(self.euler <= 1, "connected component has χ ≤ 1");
         ComponentRecord {
             id: self.gid,
             area: self.area,
@@ -151,6 +177,7 @@ impl Accum {
             centroid: (self.sum_r / self.area as f64, self.sum_c / self.area as f64),
             anchor: self.anchor,
             perimeter: self.perimeter,
+            holes: (1 - self.euler).max(0) as u64,
         }
     }
 }
@@ -270,19 +297,21 @@ mod tests {
 
     #[test]
     fn accum_tracks_bbox_centroid_anchor_perimeter() {
-        // L-tromino at (2,3) (2,4) (3,3): perimeter 8
+        // L-tromino at (2,3) (2,4) (3,3): perimeter 8, no hole
         let mut a = Accum::first(2, 3);
-        a.add(2, 4, 1);
-        a.add(3, 3, 1);
+        a.add(2, 4, true, false, false, false);
+        a.add(3, 3, false, false, true, true);
         assert_eq!(a.area, 3);
         assert_eq!((a.min_r, a.min_c, a.max_r, a.max_c), (2, 3, 3, 4));
         assert_eq!(a.anchor, (2, 3));
         assert_eq!(a.perimeter, 8);
+        assert_eq!(a.euler, 1);
         a.gid = 1;
         let rec = a.into_record();
         assert!((rec.centroid.0 - 7.0 / 3.0).abs() < 1e-12);
         assert!((rec.centroid.1 - 10.0 / 3.0).abs() < 1e-12);
         assert_eq!(rec.perimeter, 8);
+        assert_eq!(rec.holes, 0);
     }
 
     #[test]
@@ -294,6 +323,24 @@ mod tests {
         assert_eq!(a.area, 2);
         assert_eq!((a.min_r, a.max_r), (2, 5));
         assert_eq!(a.perimeter, 8);
+        assert_eq!(a.euler, 2);
+    }
+
+    #[test]
+    fn euler_fold_counts_ring_hole() {
+        // 3x3 ring: add pixels in raster order with their already-scanned
+        // neighbours; χ ends at 0, so exactly one hole.
+        let mut a = Accum::first(0, 0);
+        a.add(0, 1, true, false, false, false);
+        a.add(0, 2, true, false, false, false);
+        a.add(1, 0, false, false, true, true);
+        a.add(1, 2, false, true, true, false);
+        a.add(2, 0, false, false, true, false);
+        a.add(2, 1, true, true, false, true);
+        a.add(2, 2, true, false, true, false);
+        assert_eq!(a.euler, 0);
+        a.gid = 1;
+        assert_eq!(a.into_record().holes, 1);
     }
 
     #[test]

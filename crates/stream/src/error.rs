@@ -16,6 +16,10 @@ pub enum StreamError {
         /// Width of the offending band.
         got: usize,
     },
+    /// A background pipeline worker (e.g. a `ccl-pipeline` prefetcher)
+    /// died without producing a band — typically a panic in the wrapped
+    /// source; the payload is the panic message.
+    Worker(String),
 }
 
 impl fmt::Display for StreamError {
@@ -25,6 +29,7 @@ impl fmt::Display for StreamError {
             StreamError::WidthMismatch { expected, got } => {
                 write!(f, "band width {got} does not match stream width {expected}")
             }
+            StreamError::Worker(msg) => write!(f, "pipeline worker failed: {msg}"),
         }
     }
 }
@@ -60,5 +65,8 @@ mod tests {
         let e: StreamError = ImageError::Parse("bad".into()).into();
         assert!(e.to_string().contains("bad"));
         assert!(e.source().is_some());
+        let e = StreamError::Worker("boom".into());
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_none());
     }
 }

@@ -349,26 +349,36 @@ impl StripLabeler {
             };
             let slot = &mut acc[root as usize];
             let (r, c) = (r0 + i / w, i % w);
-            // Already-seen 4-neighbours (west, north) for the perimeter
-            // fold; a first-row pixel's north neighbour is the carry row.
+            // Already-scanned neighbours (west + the three above) for the
+            // perimeter/Euler folds; a first-row pixel's upper neighbours
+            // are the carry row.
             let west = c > 0 && labels[i - 1] != 0;
-            let north = if i >= w {
-                labels[i - w] != 0
+            let (nw, north, ne) = if i >= w {
+                (
+                    c > 0 && labels[i - w - 1] != 0,
+                    labels[i - w] != 0,
+                    c + 1 < w && labels[i - w + 1] != 0,
+                )
+            } else if !self.carry.is_empty() {
+                (
+                    c > 0 && self.carry[c - 1] != 0,
+                    self.carry[c] != 0,
+                    c + 1 < w && self.carry[c + 1] != 0,
+                )
             } else {
-                !self.carry.is_empty() && self.carry[c] != 0
+                (false, false, false)
             };
-            let adjacent = u64::from(west) + u64::from(north);
             if slot.area == 0 {
                 // A live 4-neighbour would share this pixel's root and
                 // have been accumulated already (raster order), so a
                 // fresh component's first pixel never has one.
-                debug_assert_eq!(adjacent, 0, "first pixel with live 4-neighbour");
+                debug_assert!(!west && !north, "first pixel with live 4-neighbour");
                 *slot = Accum::first(r, c);
                 slot.gid = self.next_gid;
                 self.next_gid += 1;
                 touched.push(root);
             } else {
-                slot.add(r, c, adjacent);
+                slot.add(r, c, west, nw, north, ne);
             }
             if strips.is_some() {
                 strip_gids[i] = slot.gid;
@@ -772,6 +782,7 @@ mod tests {
         let square = BinaryImage::parse("### ### ###");
         let (recs, _) = run_banded(&square, 1, StripConfig::default());
         assert_eq!(recs[0].perimeter, 12);
+        assert_eq!(recs[0].holes, 0);
         let ring = BinaryImage::parse(
             "###
              #.#
@@ -779,9 +790,40 @@ mod tests {
         );
         let (recs, _) = run_banded(&ring, 2, StripConfig::default());
         assert_eq!(recs[0].perimeter, 12 + 4);
+        assert_eq!(recs[0].holes, 1);
         let lone = BinaryImage::parse("#");
         let (recs, _) = run_banded(&lone, 1, StripConfig::default());
         assert_eq!(recs[0].perimeter, 4);
+        assert_eq!(recs[0].holes, 0);
+    }
+
+    #[test]
+    fn holes_match_brute_force_across_band_heights() {
+        // a figure-eight (two holes), a diagonal-gap ring (the pinched
+        // hole still counts: 4-connected background, 8-connected
+        // foreground), and a solid block inside a ring
+        for picture in [
+            "#####
+             #.#.#
+             #####",
+            ".##
+             #.#
+             ##.",
+            "#####
+             #...#
+             #.#.#
+             #...#
+             #####",
+        ] {
+            let img = BinaryImage::parse(picture);
+            let expected =
+                ccl_core::analysis::count_holes(&img, ccl_image::Connectivity::Eight) as u64;
+            for band_h in 1..=img.height() {
+                let (recs, _) = run_banded(&img, band_h, StripConfig::default());
+                let total: u64 = recs.iter().map(|r| r.holes).sum();
+                assert_eq!(total, expected, "band height {band_h}: {picture}");
+            }
+        }
     }
 
     #[test]

@@ -23,10 +23,10 @@
 //!   band ([`StripConfig::parallel`]), one carried boundary row per
 //!   seam, and label-slot recycling so closed components cost nothing;
 //! * [`ComponentRecord`] / [`ComponentSink`] — per-component area,
-//!   bounding box, centroid, raster anchor and 4-neighbourhood
-//!   perimeter, emitted the moment a component closes, **without ever
-//!   materializing a label image** (following Lemaitre & Lacassagne's
-//!   on-the-fly analysis);
+//!   bounding box, centroid, raster anchor, 4-neighbourhood perimeter
+//!   and Euler-characteristic hole count, emitted the moment a
+//!   component closes, **without ever materializing a label image**
+//!   (following Lemaitre & Lacassagne's on-the-fly analysis);
 //! * [`LabelSink`] / [`stream_to_label_image`] — optional labeled-strip
 //!   output for callers who do want labels.
 //!
@@ -65,4 +65,4 @@ pub use driver::{analyze_stream, label_stream, stream_to_label_image};
 pub use error::StreamError;
 pub use labeler::{BandUf, StreamStats, StripConfig, StripLabeler};
 pub use netpbm::{PbmSource, PgmSource};
-pub use source::{MemorySource, RowSource};
+pub use source::{MemorySource, OwnedMemorySource, RowSource};

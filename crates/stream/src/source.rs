@@ -60,6 +60,42 @@ impl RowSource for MemorySource<'_> {
     }
 }
 
+/// Like [`MemorySource`], but owning its image — the `'static` variant
+/// required when a source is moved onto another thread (e.g. behind a
+/// `ccl-pipeline` prefetcher).
+pub struct OwnedMemorySource {
+    image: BinaryImage,
+    next_row: usize,
+}
+
+impl OwnedMemorySource {
+    /// Streams `image` from its first row, taking ownership.
+    pub fn new(image: BinaryImage) -> Self {
+        OwnedMemorySource { image, next_row: 0 }
+    }
+}
+
+impl RowSource for OwnedMemorySource {
+    fn width(&self) -> usize {
+        self.image.width()
+    }
+
+    fn rows_remaining(&self) -> Option<usize> {
+        Some(self.image.height() - self.next_row)
+    }
+
+    fn next_band(&mut self, max_rows: usize) -> Result<Option<BinaryImage>, StreamError> {
+        assert!(max_rows > 0, "band height must be positive");
+        let rows = max_rows.min(self.image.height() - self.next_row);
+        if rows == 0 {
+            return Ok(None);
+        }
+        let band = self.image.crop(self.next_row, 0, self.image.width(), rows);
+        self.next_row += rows;
+        Ok(Some(band))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +129,21 @@ mod tests {
         let img = BinaryImage::zeros(4, 0);
         let mut src = MemorySource::new(&img);
         assert!(src.next_band(8).unwrap().is_none());
+    }
+
+    #[test]
+    fn owned_source_matches_borrowed_source() {
+        let img = BinaryImage::from_fn(5, 7, |r, c| (r + 2 * c) % 3 == 0);
+        let mut borrowed = MemorySource::new(&img);
+        let mut owned = OwnedMemorySource::new(img.clone());
+        assert_eq!(owned.width(), 5);
+        loop {
+            let a = borrowed.next_band(3).unwrap();
+            let b = owned.next_band(3).unwrap();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

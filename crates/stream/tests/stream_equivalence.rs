@@ -58,13 +58,15 @@ fn generator_image(idx: usize, w: usize, h: usize, seed: u64) -> BinaryImage {
 const NUM_GENERATORS: usize = 15;
 
 /// Per-component features keyed by the raster-first anchor (unique per
-/// component), comparable across labelers. Centroid sums are integer
-/// accumulations in f64 (exact below 2^53), so equality is exact.
+/// component), comparable across labelers: anchor, area, bbox, centroid,
+/// hole count. Centroid sums are integer accumulations in f64 (exact
+/// below 2^53), so equality is exact.
 type Features = Vec<(
     (usize, usize),
     u64,
     (usize, usize, usize, usize),
     (f64, f64),
+    u64,
 )>;
 
 fn whole_image_features(img: &BinaryImage) -> Features {
@@ -75,6 +77,8 @@ fn whole_image_features(img: &BinaryImage) -> Features {
             anchors[l as usize] = i;
         }
     }
+    // independent hole oracle: one-pass V − E + F census per component
+    let holes = ccl_core::analysis::count_holes_per_label(&labels);
     let w = img.width();
     let mut out: Features = region_properties(&labels)
         .into_iter()
@@ -85,6 +89,7 @@ fn whole_image_features(img: &BinaryImage) -> Features {
                 region.area as u64,
                 region.bbox,
                 region.centroid,
+                holes[region.label as usize - 1],
             )
         })
         .collect();
@@ -95,7 +100,7 @@ fn whole_image_features(img: &BinaryImage) -> Features {
 fn stream_features(records: &[ComponentRecord]) -> Features {
     let mut out: Features = records
         .iter()
-        .map(|r| (r.anchor, r.area, r.bbox, r.centroid))
+        .map(|r| (r.anchor, r.area, r.bbox, r.centroid, r.holes))
         .collect();
     out.sort_unstable_by_key(|f| f.0);
     out

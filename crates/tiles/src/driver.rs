@@ -90,6 +90,73 @@ where
     Ok((manifest, stats))
 }
 
+/// [`label_tiles`] with the two-stage pipeline of [`crate::pipeline`]:
+/// row *k + 1*'s tile scans overlap row *k*'s seam merge / accumulation
+/// on a worker thread. Components are bit-identical to the synchronous
+/// driver; [`TileGridStats::peak_resident_rows`] reports the pipeline's
+/// two-tile-row + carry residency.
+pub fn label_tiles_pipelined<S, C>(
+    source: &mut S,
+    cfg: TileGridConfig,
+    sink: &mut C,
+) -> Result<TileGridStats, TilesError>
+where
+    S: TileSource + Send + ?Sized,
+    C: ComponentSink,
+{
+    crate::pipeline::run_pipelined(source, cfg, sink, None)
+}
+
+/// [`analyze_tiles`] with the two-stage pipeline (see
+/// [`label_tiles_pipelined`]).
+pub fn analyze_tiles_pipelined<S>(
+    source: &mut S,
+    cfg: TileGridConfig,
+) -> Result<(Vec<ComponentRecord>, TileGridStats), TilesError>
+where
+    S: TileSource + Send + ?Sized,
+{
+    let mut records = Vec::new();
+    let stats = label_tiles_pipelined(source, cfg, &mut records)?;
+    Ok((records, stats))
+}
+
+/// [`tiles_to_label_image`] with the two-stage pipeline (see
+/// [`label_tiles_pipelined`]): labeled tiles are emitted by the merge
+/// stage while the scan stage works one tile row ahead.
+pub fn tiles_to_label_image_pipelined<S>(
+    source: &mut S,
+    cfg: TileGridConfig,
+) -> Result<(LabelImage, TileGridStats), TilesError>
+where
+    S: TileSource + Send + ?Sized,
+{
+    let mut components = CountComponents::default();
+    let mut tiles = CollectTiles::default();
+    let stats = crate::pipeline::run_pipelined(source, cfg, &mut components, Some(&mut tiles))?;
+    Ok((tiles.into_label_image(), stats))
+}
+
+/// [`spill_tiles`] with the two-stage pipeline (see
+/// [`label_tiles_pipelined`]): row *k*'s spill writes overlap row
+/// *k + 1*'s tile scans, so the disk never idles behind the scanner nor
+/// the scanner behind the disk.
+pub fn spill_tiles_pipelined<S>(
+    source: &mut S,
+    cfg: TileGridConfig,
+    dir: impl AsRef<Path>,
+    format: SpillFormat,
+) -> Result<(SpillManifest, TileGridStats), TilesError>
+where
+    S: TileSource + Send + ?Sized,
+{
+    let mut components = CountComponents::default();
+    let mut sink = SpillSink::create(dir.as_ref(), format)?;
+    let stats = crate::pipeline::run_pipelined(source, cfg, &mut components, Some(&mut sink))?;
+    let manifest = sink.close()?;
+    Ok((manifest, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

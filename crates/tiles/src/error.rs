@@ -37,6 +37,28 @@ pub enum TilesError {
     },
     /// The spill sidecar manifest is missing or malformed.
     Manifest(String),
+    /// A background pipeline worker (the tile-scan stage or a
+    /// `ccl-pipeline` prefetcher) died without producing a tile row —
+    /// typically a panic in the wrapped source; the payload is the panic
+    /// message.
+    Worker(String),
+}
+
+impl TilesError {
+    /// Builds [`TilesError::Worker`] from a caught panic payload
+    /// (`&str`/`String` payloads pass through as the message, anything
+    /// else becomes a generic one). Used wherever a pipeline stage joins
+    /// a worker thread.
+    pub fn worker_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "worker panicked".to_string()
+        };
+        TilesError::Worker(msg)
+    }
 }
 
 impl fmt::Display for TilesError {
@@ -61,6 +83,7 @@ impl fmt::Display for TilesError {
                 write!(f, "component id {gid} exceeds spill format limit {limit}")
             }
             TilesError::Manifest(msg) => write!(f, "spill manifest error: {msg}"),
+            TilesError::Worker(msg) => write!(f, "pipeline worker failed: {msg}"),
         }
     }
 }
@@ -116,5 +139,8 @@ mod tests {
         assert!(e.source().is_some());
         let e: TilesError = std::io::Error::other("disk full").into();
         assert!(e.to_string().contains("disk full"));
+        let e = TilesError::Worker("boom".into());
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_none());
     }
 }

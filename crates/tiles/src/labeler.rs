@@ -229,7 +229,7 @@ impl TileGridLabeler {
 
     /// Closes the grid: every still-open component is finalized and
     /// emitted (ascending id), and the run's summary returned.
-    pub fn finish<C: ComponentSink>(mut self, components: &mut C) -> TileGridStats {
+    pub fn finish<C: ComponentSink + ?Sized>(mut self, components: &mut C) -> TileGridStats {
         let mut remaining: Vec<Accum> = self.active.drain(1..).collect();
         remaining.sort_by_key(|a| a.gid);
         for acc in remaining {
@@ -252,103 +252,55 @@ impl TileGridLabeler {
         components: &mut dyn ComponentSink,
         sink: Option<&mut dyn TileSink>,
     ) -> Result<(), TilesError> {
-        let total: usize = tiles.iter().map(BinaryImage::width).sum();
-        if total != self.width {
-            return Err(TilesError::WidthMismatch {
-                expected: self.width,
-                got: total,
-            });
-        }
-        let th = tiles.first().map_or(0, |t| t.height());
-        if let Some(bad) = tiles.iter().find(|t| t.height() != th) {
-            return Err(TilesError::RaggedTileRow {
-                expected: th,
-                got: bad.height(),
-            });
-        }
-        let w = self.width;
-        if th == 0 || w == 0 {
+        let n_carry = (self.active.len() - 1) as u32;
+        let row = scan_tile_row(tiles, self.width, &self.cfg, n_carry)?;
+        self.merge_scanned(row, components, sink)
+    }
+
+    /// The merge/accumulate stage: restores connectivity between a
+    /// scanned tile row and the carried boundary row, folds the open
+    /// accumulators, emits closed components (and labeled tiles), and
+    /// rebuilds the carry. Counterpart of [`scan_tile_row`]; the two
+    /// called back-to-back are exactly [`Self::push_tile_row`], while the
+    /// pipelined executor ([`crate::pipeline`]) runs them on different
+    /// threads, one tile row apart.
+    pub(crate) fn merge_scanned(
+        &mut self,
+        mut row: ScannedTileRow,
+        components: &mut dyn ComponentSink,
+        sink: Option<&mut dyn TileSink>,
+    ) -> Result<(), TilesError> {
+        let th = row.th;
+        if row.degenerate {
             self.rows_done += th;
             self.tile_rows_done += usize::from(th > 0);
             return Ok(());
         }
+        let w = self.width;
         self.peak_resident_rows = self
             .peak_resident_rows
             .max(th + usize::from(!self.carry.is_empty()));
         let n_carry = (self.active.len() - 1) as u32;
-        let widths: Vec<usize> = tiles.iter().map(BinaryImage::width).collect();
-        let mut x0s = Vec::with_capacity(tiles.len());
-        let mut x0 = 0usize;
-        for &tw in &widths {
-            x0s.push(x0);
-            x0 += tw;
-        }
 
-        // Scan every tile (chunk-local semantics: rows above and columns
-        // beside the tile read as background), then both seam
-        // orientations: vertical between adjacent tiles, horizontal
-        // against the carry row.
-        let (bufs, mut uf) = if self.cfg.threads <= 1 {
-            let capacity: usize = widths
-                .iter()
-                .map(|&tw| max_labels_two_line(th, tw))
-                .sum::<usize>()
-                + 1
-                + n_carry as usize;
-            let mut store = RemSP::with_capacity(capacity);
-            for id in 0..=n_carry {
-                store.new_label(id);
-            }
-            let mut bufs: Vec<Vec<u32>> = widths.iter().map(|&tw| vec![0u32; tw * th]).collect();
-            let mut next = n_carry + 1;
-            for (tile, buf) in tiles.iter().zip(bufs.iter_mut()) {
-                next = scan_two_line(tile, 0..th, buf, &mut store, next);
-            }
-            for t in 1..tiles.len() {
-                let lw = widths[t - 1];
-                merge_seam_strided(
-                    &bufs[t - 1][lw - 1..],
-                    lw,
-                    &bufs[t],
-                    widths[t],
-                    th,
-                    &mut store,
-                );
-            }
-            if !self.carry.is_empty() {
-                let top = assemble_row(&bufs, &widths, 0, w);
-                merge_seam(&self.carry, &top, &mut store);
-            }
-            (bufs, BandUf::Seq(store))
-        } else {
-            let parents = match self.cfg.merger {
-                MergerKind::Locked => {
-                    let merger = match self.cfg.lock_stripes {
-                        Some(s) => LockedMerger::with_stripes(s),
-                        None => LockedMerger::new(),
-                    };
-                    scan_tile_row_parallel(
-                        tiles,
-                        &widths,
-                        th,
-                        &self.carry,
-                        n_carry,
-                        self.cfg.threads,
-                        &merger,
-                    )
+        // The horizontal seam against the carry row — the only part of
+        // the row's labeling that depends on earlier tile rows.
+        if !self.carry.is_empty() {
+            let top = assemble_row(&row.bufs, &row.widths, 0, w);
+            match &mut row.uf {
+                BandUf::Seq(store) => merge_seam(&self.carry, &top, store),
+                BandUf::Par(parents) => {
+                    merge_carry_seam_parallel(&self.carry, &top, parents, &self.cfg)
                 }
-                MergerKind::Cas => scan_tile_row_parallel(
-                    tiles,
-                    &widths,
-                    th,
-                    &self.carry,
-                    n_carry,
-                    self.cfg.threads,
-                    &CasMerger::new(),
-                ),
-            };
-            (parents.0, BandUf::Par(parents.1))
-        };
+            }
+        }
+        let ScannedTileRow {
+            widths,
+            x0s,
+            bufs,
+            mut uf,
+            ..
+        } = row;
+        let ntiles = bufs.len();
 
         // Fold the carried accumulators onto their (possibly merged)
         // roots. Any set containing a carried id is rooted at a carried
@@ -379,7 +331,9 @@ impl TileGridLabeler {
         // Accumulate the row's pixels per root in *global raster order*
         // (row-major across the whole tile row), so fresh ids are
         // assigned exactly as the strip labeler would and anchors stay
-        // raster-first.
+        // raster-first. `prev`/`cur` carry the previous global pixel
+        // row's foreground mask across tile boundaries for the
+        // perimeter/Euler folds (the carry row for the first line).
         let r0 = self.rows_done;
         let mut tile_gids: Vec<Vec<u64>> = if sink.is_some() {
             widths.iter().map(|&tw| vec![0u64; tw * th]).collect()
@@ -387,12 +341,19 @@ impl TileGridLabeler {
             Vec::new()
         };
         let mut root_of: Vec<u32> = vec![u32::MAX; nslots];
+        let mut prev: Vec<bool> = vec![false; w];
+        for (x, &l) in self.carry.iter().enumerate() {
+            prev[x] = l != 0;
+        }
+        let mut cur: Vec<bool> = vec![false; w];
         for r in 0..th {
-            for t in 0..tiles.len() {
+            for t in 0..ntiles {
                 let tw = widths[t];
                 let base = r * tw;
                 for c in 0..tw {
                     let l = bufs[t][base + c];
+                    let x = x0s[t] + c;
+                    cur[x] = l != 0;
                     if l == 0 {
                         continue;
                     }
@@ -403,39 +364,27 @@ impl TileGridLabeler {
                         root_of[l as usize] = root;
                         root
                     };
-                    // Already-seen 4-neighbours (west — possibly in the
-                    // previous tile — and north — possibly the carry row)
-                    // for the perimeter fold.
-                    let west = if c > 0 {
-                        bufs[t][base + c - 1] != 0
-                    } else if t > 0 {
-                        let lw = widths[t - 1];
-                        bufs[t - 1][r * lw + lw - 1] != 0
-                    } else {
-                        false
-                    };
-                    let north = if r > 0 {
-                        bufs[t][base + c - tw] != 0
-                    } else {
-                        !self.carry.is_empty() && self.carry[x0s[t] + c] != 0
-                    };
-                    let adjacent = u64::from(west) + u64::from(north);
+                    let west = x > 0 && cur[x - 1];
+                    let nw = x > 0 && prev[x - 1];
+                    let north = prev[x];
+                    let ne = x + 1 < w && prev[x + 1];
                     let slot = &mut acc[root as usize];
-                    let (gr, gc) = (r0 + r, x0s[t] + c);
+                    let (gr, gc) = (r0 + r, x);
                     if slot.area == 0 {
-                        debug_assert_eq!(adjacent, 0, "first pixel with live 4-neighbour");
+                        debug_assert!(!west && !north, "first pixel with live 4-neighbour");
                         *slot = Accum::first(gr, gc);
                         slot.gid = self.next_gid;
                         self.next_gid += 1;
                         touched.push(root);
                     } else {
-                        slot.add(gr, gc, adjacent);
+                        slot.add(gr, gc, west, nw, north, ne);
                     }
                     if sink.is_some() {
                         tile_gids[t][base + c] = slot.gid;
                     }
                 }
             }
+            std::mem::swap(&mut prev, &mut cur);
         }
 
         // Components with a pixel on the row's last line stay open:
@@ -443,7 +392,7 @@ impl TileGridLabeler {
         let mut new_active: Vec<Accum> = vec![Accum::EMPTY];
         let mut new_carry = vec![0u32; w];
         let mut survivor_id: Vec<u32> = vec![0; nslots];
-        for t in 0..tiles.len() {
+        for t in 0..ntiles {
             let tw = widths[t];
             let base = (th - 1) * tw;
             for c in 0..tw {
@@ -476,7 +425,7 @@ impl TileGridLabeler {
             for (kept, absorbed) in merges {
                 sink.merge(kept, absorbed);
             }
-            for t in 0..tiles.len() {
+            for t in 0..ntiles {
                 sink.tile(
                     &TileMeta {
                         tile_row: self.tile_rows_done,
@@ -495,9 +444,177 @@ impl TileGridLabeler {
         self.carry = new_carry;
         self.rows_done += th;
         self.tile_rows_done += 1;
-        self.tiles_done += tiles.len();
+        self.tiles_done += ntiles;
         Ok(())
     }
+}
+
+/// Post-scan state of one tile row: per-tile label buffers with the
+/// vertical seams already merged, and the union-find view the merge
+/// stage resolves roots through. Produced by [`scan_tile_row`], consumed
+/// by [`TileGridLabeler::merge_scanned`].
+pub(crate) struct ScannedTileRow {
+    /// Height of every tile in the row (0 for degenerate rows).
+    pub(crate) th: usize,
+    /// Per-tile widths, left to right.
+    pub(crate) widths: Vec<usize>,
+    /// Per-tile global column offsets.
+    pub(crate) x0s: Vec<usize>,
+    /// Per-tile label buffers (row-major within each tile).
+    pub(crate) bufs: Vec<Vec<u32>>,
+    /// The row's equivalences: carried-id slots `1..=carry_cap`, tile
+    /// labels from `carry_cap + 1`.
+    pub(crate) uf: BandUf,
+    /// True for rows with no pixels (zero height or zero width): the
+    /// merge stage only counts them.
+    pub(crate) degenerate: bool,
+}
+
+/// The scan stage: validates a tile row's shape, scans every tile with
+/// chunk-local semantics (RemSP sequentially, PAREMSP worker groups in
+/// parallel mode) and merges the vertical seams between adjacent tiles.
+///
+/// Everything here is independent of the carried boundary row — the one
+/// dependency between consecutive tile rows — except for the size of the
+/// reserved low label slots: carried ids occupy `1..=carry_cap`, tile
+/// labels start at `carry_cap + 1`. The synchronous path passes the
+/// exact open-component count; the pipelined executor passes the width
+/// bound `⌈w/2⌉` (no row can carry more open components than that), so
+/// the scan can run before the previous row's compaction has decided the
+/// real count. Unused reserved slots stay singleton sets that no tile
+/// label ever resolves to, so the output is identical either way.
+pub(crate) fn scan_tile_row(
+    tiles: &[BinaryImage],
+    width: usize,
+    cfg: &TileGridConfig,
+    carry_cap: u32,
+) -> Result<ScannedTileRow, TilesError> {
+    let total: usize = tiles.iter().map(BinaryImage::width).sum();
+    if total != width {
+        return Err(TilesError::WidthMismatch {
+            expected: width,
+            got: total,
+        });
+    }
+    let th = tiles.first().map_or(0, |t| t.height());
+    if let Some(bad) = tiles.iter().find(|t| t.height() != th) {
+        return Err(TilesError::RaggedTileRow {
+            expected: th,
+            got: bad.height(),
+        });
+    }
+    if th == 0 || width == 0 {
+        return Ok(ScannedTileRow {
+            th,
+            widths: Vec::new(),
+            x0s: Vec::new(),
+            bufs: Vec::new(),
+            uf: BandUf::Seq(RemSP::new()),
+            degenerate: true,
+        });
+    }
+    let widths: Vec<usize> = tiles.iter().map(BinaryImage::width).collect();
+    let mut x0s = Vec::with_capacity(tiles.len());
+    let mut x0 = 0usize;
+    for &tw in &widths {
+        x0s.push(x0);
+        x0 += tw;
+    }
+
+    let (bufs, uf) = if cfg.threads <= 1 {
+        let capacity: usize = widths
+            .iter()
+            .map(|&tw| max_labels_two_line(th, tw))
+            .sum::<usize>()
+            + 1
+            + carry_cap as usize;
+        let mut store = RemSP::with_capacity(capacity);
+        for id in 0..=carry_cap {
+            store.new_label(id);
+        }
+        let mut bufs: Vec<Vec<u32>> = widths.iter().map(|&tw| vec![0u32; tw * th]).collect();
+        let mut next = carry_cap + 1;
+        for (tile, buf) in tiles.iter().zip(bufs.iter_mut()) {
+            next = scan_two_line(tile, 0..th, buf, &mut store, next);
+        }
+        for t in 1..tiles.len() {
+            let lw = widths[t - 1];
+            merge_seam_strided(
+                &bufs[t - 1][lw - 1..],
+                lw,
+                &bufs[t],
+                widths[t],
+                th,
+                &mut store,
+            );
+        }
+        (bufs, BandUf::Seq(store))
+    } else {
+        let (bufs, parents) = match cfg.merger {
+            MergerKind::Locked => {
+                let merger = match cfg.lock_stripes {
+                    Some(s) => LockedMerger::with_stripes(s),
+                    None => LockedMerger::new(),
+                };
+                scan_tile_row_parallel(tiles, &widths, th, carry_cap, cfg.threads, &merger)
+            }
+            MergerKind::Cas => scan_tile_row_parallel(
+                tiles,
+                &widths,
+                th,
+                carry_cap,
+                cfg.threads,
+                &CasMerger::new(),
+            ),
+        };
+        (bufs, BandUf::Par(parents))
+    };
+    Ok(ScannedTileRow {
+        th,
+        widths,
+        x0s,
+        bufs,
+        uf,
+        degenerate: false,
+    })
+}
+
+/// Merges the horizontal carry seam in column spans across the
+/// configured workers (phase 3 of the parallel mode, run by the merge
+/// stage because it needs the carry row).
+fn merge_carry_seam_parallel(
+    carry: &[u32],
+    top: &[u32],
+    parents: &ConcurrentParents,
+    cfg: &TileGridConfig,
+) {
+    match cfg.merger {
+        MergerKind::Locked => {
+            let merger = match cfg.lock_stripes {
+                Some(s) => LockedMerger::with_stripes(s),
+                None => LockedMerger::new(),
+            };
+            carry_seam_spans(carry, top, parents, cfg.threads, &merger);
+        }
+        MergerKind::Cas => carry_seam_spans(carry, top, parents, cfg.threads, &CasMerger::new()),
+    }
+}
+
+fn carry_seam_spans<M: ConcurrentMerger>(
+    carry: &[u32],
+    top: &[u32],
+    parents: &ConcurrentParents,
+    threads: usize,
+    merger: &M,
+) {
+    rayon::scope(|s| {
+        for span in split_spans(carry.len(), threads) {
+            s.spawn(move |_| {
+                let mut store = MergerStore::new(parents, merger);
+                merge_seam_span(carry, top, span, &mut store);
+            });
+        }
+    });
 }
 
 /// Copies local row `r` of every tile buffer into one `width`-long row.
@@ -513,15 +630,13 @@ fn assemble_row(bufs: &[Vec<u32>], widths: &[usize], r: usize, width: usize) -> 
 /// Parallel tile-row scan: tiles are grouped into at most `threads`
 /// contiguous runs scanned concurrently with disjoint provisional-label
 /// ranges, then the vertical seams merge concurrently with the configured
-/// MERGER, and the horizontal carry seam merges in column spans across
-/// the same workers.
-#[allow(clippy::too_many_arguments)]
+/// MERGER. The horizontal carry seam is the merge stage's job
+/// ([`merge_carry_seam_parallel`]).
 fn scan_tile_row_parallel<M: ConcurrentMerger>(
     tiles: &[BinaryImage],
     widths: &[usize],
     th: usize,
-    carry: &[u32],
-    n_carry: u32,
+    carry_cap: u32,
     threads: usize,
     merger: &M,
 ) -> (Vec<Vec<u32>>, ConcurrentParents) {
@@ -529,7 +644,7 @@ fn scan_tile_row_parallel<M: ConcurrentMerger>(
     let threads = threads.max(1);
     // disjoint label ranges, one per tile
     let mut offsets = Vec::with_capacity(ntiles);
-    let mut next = n_carry + 1;
+    let mut next = carry_cap + 1;
     for &tw in widths {
         offsets.push(next);
         next += max_labels_two_line(th, tw) as u32;
@@ -537,7 +652,7 @@ fn scan_tile_row_parallel<M: ConcurrentMerger>(
     let parents = ConcurrentParents::new(next as usize);
     {
         let mut store = parents.chunk_store();
-        for id in 1..=n_carry {
+        for id in 1..=carry_cap {
             store.new_label(id);
         }
     }
@@ -582,22 +697,6 @@ fn scan_tile_row_parallel<M: ConcurrentMerger>(
                             &mut store,
                         );
                     }
-                });
-            }
-        });
-    }
-
-    // Phase 3: the horizontal carry seam, split into column spans.
-    if !carry.is_empty() {
-        let w = carry.len();
-        let top = assemble_row(&bufs, widths, 0, w);
-        let top_ref = &top;
-        rayon::scope(|s| {
-            for span in split_spans(w, threads) {
-                let parents = &parents;
-                s.spawn(move |_| {
-                    let mut store = MergerStore::new(parents, merger);
-                    merge_seam_span(carry, top_ref, span, &mut store);
                 });
             }
         });
@@ -753,6 +852,23 @@ mod tests {
         }
         let stats = labeler.finish(&mut sink);
         assert_eq!(stats.components, 32);
+    }
+
+    #[test]
+    fn holes_match_whole_image_oracle_across_tile_shapes() {
+        // figure-eight (2 holes) + a diagonal-gap ring (1 hole: bg is
+        // 4-connected, foreground 8-connected)
+        let img = BinaryImage::parse(
+            "#####..##
+             #.#.#.#.#
+             #####.##.",
+        );
+        let expected = ccl_core::analysis::count_holes(&img, ccl_image::Connectivity::Eight) as u64;
+        for (tw, th) in [(1, 1), (2, 2), (3, 1), (9, 3), (4, 2)] {
+            let (recs, _) = run_tiled(&img, tw, th, TileGridConfig::default());
+            let total: u64 = recs.iter().map(|r| r.holes).sum();
+            assert_eq!(total, expected, "{tw}x{th} tiles");
+        }
     }
 
     #[test]

@@ -30,7 +30,11 @@
 //! * [`TileSink`] / [`CollectTiles`] / [`SpillSink`] — labeled-tile
 //!   output, in memory or spilled ([`sink`]);
 //! * [`analyze_tiles`] / [`label_tiles`] / [`tiles_to_label_image`] /
-//!   [`spill_tiles`] — whole-stream drivers.
+//!   [`spill_tiles`] — whole-stream drivers;
+//! * the `*_pipelined` drivers — the same, with row *k + 1*'s tile scans
+//!   overlapped against row *k*'s seam merge / accumulation / spill on a
+//!   worker thread ([`pipeline`]): bit-identical output, at most two
+//!   tile rows + the carry row resident.
 //!
 //! ## Example
 //!
@@ -53,10 +57,14 @@
 pub mod driver;
 pub mod error;
 pub mod labeler;
+pub mod pipeline;
 pub mod sink;
 pub mod source;
 
-pub use driver::{analyze_tiles, label_tiles, spill_tiles, tiles_to_label_image};
+pub use driver::{
+    analyze_tiles, analyze_tiles_pipelined, label_tiles, label_tiles_pipelined, spill_tiles,
+    spill_tiles_pipelined, tiles_to_label_image, tiles_to_label_image_pipelined,
+};
 pub use error::TilesError;
 pub use labeler::{TileGridConfig, TileGridLabeler, TileGridStats};
 pub use sink::{

@@ -59,13 +59,14 @@ fn generator_image(idx: usize, w: usize, h: usize, seed: u64) -> BinaryImage {
 const NUM_GENERATORS: usize = 15;
 
 /// Per-component features keyed by the raster-first anchor, including the
-/// streamed perimeter; the whole-image side recomputes everything brute
-/// force so the comparison is an independent oracle.
+/// streamed perimeter and hole count; the whole-image side recomputes
+/// everything brute force so the comparison is an independent oracle.
 type Features = Vec<(
     (usize, usize),
     u64,
     (usize, usize, usize, usize),
     (f64, f64),
+    u64,
     u64,
 )>;
 
@@ -101,6 +102,8 @@ fn whole_image_features(img: &BinaryImage) -> Features {
                 .count() as u64;
         }
     }
+    // independent hole oracle: one-pass V − E + F census per component
+    let holes = ccl_core::analysis::count_holes_per_label(&labels);
     let mut out: Features = (1..=n)
         .map(|l| {
             (
@@ -109,6 +112,7 @@ fn whole_image_features(img: &BinaryImage) -> Features {
                 bbox[l],
                 (sums[l].0 / area[l] as f64, sums[l].1 / area[l] as f64),
                 perimeter[l],
+                holes[l - 1],
             )
         })
         .collect();
@@ -119,7 +123,7 @@ fn whole_image_features(img: &BinaryImage) -> Features {
 fn record_features(records: &[ComponentRecord]) -> Features {
     let mut out: Features = records
         .iter()
-        .map(|r| (r.anchor, r.area, r.bbox, r.centroid, r.perimeter))
+        .map(|r| (r.anchor, r.area, r.bbox, r.centroid, r.perimeter, r.holes))
         .collect();
     out.sort_unstable_by_key(|f| f.0);
     out
@@ -257,8 +261,11 @@ fn streamed_grid_spills_and_reconstructs() {
 /// from a generator in 512×512 tiles — at most 2 tile rows (1,025 pixel
 /// rows) resident — while the spill sink writes every labeled tile to
 /// disk; the spilled tiles + sidecar merge table then reconstruct the
-/// exact whole-image partition. Ignored by default (minutes in debug
-/// builds); run with `cargo test --release -p ccl-tiles -- --ignored`.
+/// exact whole-image partition. A second pass runs the **pipelined**
+/// executor (row *k + 1*'s scans overlapping row *k*'s merge + spill) and
+/// must produce the identical spill while holding at most two tile rows
+/// plus the carry row. Ignored by default (minutes in debug builds); run
+/// with `cargo test --release -p ccl-tiles -- --ignored`.
 #[test]
 #[ignore = "100-Mpixel acceptance run; use cargo test --release -- --ignored"]
 fn hundred_megapixel_grid_bounded_memory_and_spill() {
@@ -287,6 +294,31 @@ fn hundred_megapixel_grid_bounded_memory_and_spill() {
     let img = bernoulli(w, h, 0.5, 4242);
     let reference = aremsp(&img);
     assert_eq!(stats.components, reference.num_components() as u64);
+    let li = read_spilled_label_image(&dir).unwrap();
+    assert!(labelings_equivalent(&li, &reference));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // The same run through the pipelined executor: identical output, and
+    // the residency bound still holds — two tile rows (row k's labels
+    // under merge/spill + row k+1 under scan) plus the carry row.
+    let dir = temp_spill_dir("it_gigascale_pipelined");
+    let source = bernoulli_stream(w, h, 0.5, 4242);
+    let mut grid = GridSource::new(source, tile, tile);
+    let (manifest, stats) = ccl_tiles::spill_tiles_pipelined(
+        &mut grid,
+        TileGridConfig::default(),
+        &dir,
+        SpillFormat::RawU32,
+    )
+    .unwrap();
+    assert_eq!(stats.rows, h);
+    assert!(
+        stats.peak_resident_rows <= 2 * tile + 1,
+        "pipelined resident rows exceeded two tile rows + carry"
+    );
+    assert_eq!(stats.peak_resident_rows, 2 * tile + 1);
+    assert_eq!(stats.components, reference.num_components() as u64);
+    assert_eq!(manifest.tiles.len(), stats.tiles);
     let li = read_spilled_label_image(&dir).unwrap();
     assert!(labelings_equivalent(&li, &reference));
     std::fs::remove_dir_all(&dir).unwrap();

@@ -2,7 +2,7 @@
 # local runs and CI cannot drift. `just ci` is the full gate.
 
 # Full CI gate: everything the workflow runs, in the same order.
-ci: fmt-check clippy build test doc smoke stream-smoke tiles-smoke bench-smoke
+ci: fmt-check clippy build test doc smoke stream-smoke tiles-smoke pipeline-smoke bench-smoke
 
 # Format the whole workspace in place.
 fmt:
@@ -40,6 +40,12 @@ stream-smoke:
 tiles-smoke:
     cargo run --locked --release --example tiles_outofcore
 
+# Run the prefetch/pipeline (ccl-pipeline) example and a quick
+# pipeline_demo sweep end to end.
+pipeline-smoke:
+    cargo run --locked --release --example pipeline_prefetch
+    cargo run --locked --release -p ccl-bench --bin pipeline_demo -- --reps 1 --json /tmp/BENCH_pipeline_smoke.json
+
 # Compile all ten criterion benches without running them.
 bench-smoke:
     cargo bench --locked --no-run --workspace
@@ -59,6 +65,13 @@ stream-stress:
     cargo test --release -p ccl-stream --test stream_equivalence -- --ignored
 
 # Full-scale tile-grid acceptance run: 100 Mpixel in 512x512 tiles with
-# spill-to-disk output, <= 2 tile rows resident, exact reconstruction.
+# spill-to-disk output, <= 2 tile rows resident, exact reconstruction —
+# synchronous and pipelined.
 tiles-stress:
     cargo test --release -p ccl-tiles --test tiles_equivalence -- --ignored
+
+# Full-scale staged-pipeline run: 67 Mpixel through the composed
+# decode ∥ scan ∥ merge stack, <= 2 tile rows + carry resident, analysis
+# identical to whole-image AREMSP.
+pipeline-stress:
+    cargo test --release -p ccl-pipeline --test pipeline_equivalence -- --ignored

@@ -23,6 +23,10 @@
 //!   labeler (vertical *and* horizontal seam merges over a tile row),
 //!   and spill-to-disk label output with a sidecar merge table — both
 //!   input and output bounded by O(tile row)
+//! * [`pipeline`] — prefetching source adapters (decode on a worker
+//!   thread, bounded double buffer) and, together with the `*_pipelined`
+//!   drivers in [`tiles`], a decode ∥ scan ∥ merge execution pipeline
+//!   with bit-identical output
 //!
 //! ## Quickstart
 //!
@@ -48,6 +52,7 @@
 pub use ccl_core as core;
 pub use ccl_datasets as datasets;
 pub use ccl_image as image;
+pub use ccl_pipeline as pipeline;
 pub use ccl_stream as stream;
 pub use ccl_tiles as tiles;
 pub use ccl_unionfind as unionfind;
@@ -55,8 +60,8 @@ pub use ccl_unionfind as unionfind;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use ccl_core::analysis::{
-        count_holes, euler_number, keep_largest_component, region_properties,
-        remove_small_components,
+        count_holes, count_holes_per_label, euler_number, keep_largest_component,
+        region_properties, remove_small_components,
     };
     pub use ccl_core::label::LabelImage;
     pub use ccl_core::par::{
@@ -70,12 +75,15 @@ pub mod prelude {
     pub use ccl_core::Algorithm;
     pub use ccl_image::threshold::im2bw;
     pub use ccl_image::{BinaryImage, Connectivity, GrayImage, RgbImage};
+    pub use ccl_pipeline::{PacedRows, PacedTiles, PipelineError, PrefetchRows, PrefetchTiles};
     pub use ccl_stream::{
         analyze_stream, label_stream, stream_to_label_image, ComponentRecord, ComponentSink,
-        MemorySource, RowSource, StreamStats, StripConfig, StripLabeler,
+        MemorySource, OwnedMemorySource, RowSource, StreamStats, StripConfig, StripLabeler,
     };
     pub use ccl_tiles::{
-        analyze_tiles, read_spilled_label_image, spill_tiles, tiles_to_label_image, GridSource,
-        SpillFormat, TileGridConfig, TileGridLabeler, TileGridStats, TileSource,
+        analyze_tiles, analyze_tiles_pipelined, label_tiles, label_tiles_pipelined,
+        read_spilled_label_image, spill_tiles, spill_tiles_pipelined, tiles_to_label_image,
+        tiles_to_label_image_pipelined, GridSource, SpillFormat, TileGridConfig, TileGridLabeler,
+        TileGridStats, TileSource,
     };
 }
