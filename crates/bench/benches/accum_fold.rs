@@ -1,0 +1,66 @@
+//! Fused vs sequential accumulation: the cost of the analysis fold,
+//! across band heights and in-band thread counts.
+//!
+//! The sequential fold walks every pixel a second time on one thread
+//! after the seams; the fused fold accumulates per-chunk partial tables
+//! inside the scan workers and merges them per *label* at the seam, so
+//! the serial stage shrinks from O(pixels) to O(labels + width).
+//! Expected shape: parity at 1 thread (same work, different placement),
+//! a widening fused win as threads grow (the pass parallelizes) and at
+//! small bands (per-band fold overheads amortize), and the same effect
+//! on the tile-grid labeler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccl_datasets::synth::landcover::{landcover, LandcoverParams};
+use ccl_stream::{label_stream, CountComponents, FoldMode, MemorySource, StripConfig};
+use ccl_tiles::{label_tiles, GridSource, TileGridConfig};
+
+fn bench_accum_fold(c: &mut Criterion) {
+    let img = landcover(1024, 4096, LandcoverParams::default(), 23);
+    let mut group = c.benchmark_group("accum_fold");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Bytes(img.raster_bytes() as u64));
+
+    for fold in [FoldMode::Sequential, FoldMode::Fused] {
+        for band in [64usize, 256, 1024] {
+            for threads in [1usize, 2, 8] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("strip-{fold}"), format!("band{band}-{threads}t")),
+                    &(band, threads),
+                    |b, &(band, threads)| {
+                        let cfg = StripConfig::parallel(threads).with_fold(fold);
+                        b.iter(|| {
+                            let mut src = MemorySource::new(&img);
+                            let mut sink = CountComponents::default();
+                            label_stream(&mut src, band, cfg.clone(), &mut sink).unwrap();
+                            black_box(sink.count)
+                        })
+                    },
+                );
+            }
+        }
+        for threads in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("tiles-{fold}"), format!("256x256-{threads}t")),
+                &threads,
+                |b, &threads| {
+                    let cfg = TileGridConfig::parallel(threads).with_fold(fold);
+                    b.iter(|| {
+                        let mut src = GridSource::from_image(&img, 256, 256);
+                        let mut sink = CountComponents::default();
+                        label_tiles(&mut src, cfg.clone(), &mut sink).unwrap();
+                        black_box(sink.count)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accum_fold);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Fold smoke test — fused vs sequential accumulation equivalence, fast
+//! enough for every push (CI's `fold-smoke` step, `just fold-smoke`).
+//!
+//! Runs the strip and tile-grid analyzers over a few synthetic rasters in
+//! both fold modes (sequential per-pixel pass vs fused per-chunk
+//! partials), synchronous and pipelined, sequential and multi-threaded,
+//! and compares every [`ComponentRecord`] **field by field** — id, area,
+//! bbox, centroid, anchor, perimeter, holes — plus emission order. Any
+//! mismatch prints the offending record pair and exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p ccl-bench --bin fold_smoke
+//! ```
+
+use ccl_datasets::synth::blobs::{blob_field, BlobParams};
+use ccl_datasets::synth::noise::bernoulli;
+use ccl_datasets::synth::texture::rings;
+use ccl_image::BinaryImage;
+use ccl_stream::{
+    analyze_stream, analyze_stream_pipelined, ComponentRecord, FoldMode, OwnedMemorySource,
+    StripConfig,
+};
+use ccl_tiles::{analyze_tiles, analyze_tiles_pipelined, GridSource, TileGridConfig};
+
+/// Compares two record lists field by field, reporting the first
+/// divergence (records are emitted in a deterministic order, so index i
+/// must match index i).
+fn compare(label: &str, seq: &[ComponentRecord], fused: &[ComponentRecord]) -> bool {
+    if seq.len() != fused.len() {
+        eprintln!(
+            "FAIL {label}: {} components sequential vs {} fused",
+            seq.len(),
+            fused.len()
+        );
+        return false;
+    }
+    for (i, (s, f)) in seq.iter().zip(fused).enumerate() {
+        let fields: [(&str, bool); 7] = [
+            ("id", s.id == f.id),
+            ("area", s.area == f.area),
+            ("bbox", s.bbox == f.bbox),
+            ("centroid", s.centroid == f.centroid),
+            ("anchor", s.anchor == f.anchor),
+            ("perimeter", s.perimeter == f.perimeter),
+            ("holes", s.holes == f.holes),
+        ];
+        if let Some((field, _)) = fields.iter().find(|(_, ok)| !ok) {
+            eprintln!(
+                "FAIL {label}: record {i} differs in `{field}`:\n  seq   {s:?}\n  fused {f:?}"
+            );
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let images: Vec<(&str, BinaryImage)> = vec![
+        ("bernoulli", bernoulli(96, 160, 0.5, 11)),
+        (
+            "blobs",
+            blob_field(
+                96,
+                160,
+                BlobParams {
+                    coverage: 0.35,
+                    min_radius: 1,
+                    max_radius: 5,
+                },
+                7,
+            ),
+        ),
+        ("rings", rings(96, 160, 5.0)),
+    ];
+
+    let mut checks = 0usize;
+    let mut ok = true;
+    for (name, img) in &images {
+        for threads in [1usize, 4] {
+            let strip = |fold| StripConfig::parallel(threads).with_fold(fold);
+            let grid = |fold| TileGridConfig::parallel(threads).with_fold(fold);
+
+            // strip labeler, synchronous
+            let run_strip = |fold| {
+                let mut src = OwnedMemorySource::new(img.clone());
+                analyze_stream(&mut src, 32, strip(fold)).expect("in-memory stream")
+            };
+            let (seq, _) = run_strip(FoldMode::Sequential);
+            let (fused, _) = run_strip(FoldMode::Fused);
+            ok &= compare(&format!("{name} strip {threads}t"), &seq, &fused);
+            checks += 1;
+
+            // strip labeler, pipelined (scan ∥ merge)
+            let run_strip_pipe = |fold| {
+                let mut src = OwnedMemorySource::new(img.clone());
+                analyze_stream_pipelined(&mut src, 32, strip(fold)).expect("in-memory stream")
+            };
+            let (pseq, _) = run_strip_pipe(FoldMode::Sequential);
+            let (pfused, _) = run_strip_pipe(FoldMode::Fused);
+            ok &= compare(
+                &format!("{name} strip-pipelined {threads}t"),
+                &pseq,
+                &pfused,
+            );
+            ok &= compare(
+                &format!("{name} strip sync-vs-pipelined {threads}t"),
+                &seq,
+                &pfused,
+            );
+            checks += 2;
+
+            // tile grid, synchronous + pipelined
+            let run_tiles = |fold| {
+                let mut src = GridSource::from_image(img, 24, 24);
+                analyze_tiles(&mut src, grid(fold)).expect("in-memory grid")
+            };
+            let (tseq, _) = run_tiles(FoldMode::Sequential);
+            let (tfused, _) = run_tiles(FoldMode::Fused);
+            ok &= compare(&format!("{name} tiles {threads}t"), &tseq, &tfused);
+            checks += 1;
+
+            let run_tiles_pipe = |fold| {
+                let mut src = GridSource::from_image(img, 24, 24);
+                analyze_tiles_pipelined(&mut src, grid(fold)).expect("in-memory grid")
+            };
+            let (tpseq, _) = run_tiles_pipe(FoldMode::Sequential);
+            let (tpfused, _) = run_tiles_pipe(FoldMode::Fused);
+            ok &= compare(
+                &format!("{name} tiles-pipelined {threads}t"),
+                &tpseq,
+                &tpfused,
+            );
+            ok &= compare(
+                &format!("{name} tiles sync-vs-pipelined {threads}t"),
+                &tseq,
+                &tpfused,
+            );
+            checks += 2;
+        }
+    }
+
+    if ok {
+        println!("fold-smoke PASS: {checks} fused-vs-sequential comparisons, records identical field by field");
+    } else {
+        eprintln!("fold-smoke FAILED");
+        std::process::exit(1);
+    }
+}

@@ -31,12 +31,13 @@ use ccl_datasets::harness::time_best_of;
 use ccl_datasets::report::{write_json, Table};
 use ccl_datasets::synth::stream::bernoulli_stream;
 use ccl_pipeline::{PacedRows, PrefetchRows, PrefetchTiles};
-use ccl_stream::{label_stream, CountComponents, StripConfig};
+use ccl_stream::{label_stream, label_stream_pipelined, CountComponents, StripConfig};
 use ccl_tiles::{label_tiles, label_tiles_pipelined, GridSource, TileGridConfig};
 use serde::Serialize;
 
 const USAGE: &str = "pipeline_demo: decode/scan/merge overlap on a generation-bound workload
   --reps N         repetitions per mode (default 3)
+  --fold MODE      accumulation strategy: fused (default) or seq
   --depth N        prefetch queue depth (default 2)
   --json PATH      snapshot path (default results/BENCH_pipeline.json)";
 
@@ -68,12 +69,16 @@ struct PipelineBench {
     tile: usize,
     depth: usize,
     device_latency_ms: f64,
+    /// Accumulation strategy (`--fold`): `fused` folds component analysis
+    /// into the scan stage, `seq` is the sequential per-pixel baseline.
+    fold: String,
     rows_modes: Vec<Mode>,
     tiles_modes: Vec<Mode>,
 }
 
 fn main() {
     let args = BinArgs::parse(USAGE);
+    let fold = args.fold_or_default();
     let json_path = args
         .json
         .clone()
@@ -111,31 +116,51 @@ fn main() {
     };
 
     // --- row bands ---
+    let strip_cfg = || StripConfig::default().with_fold(fold);
     let rows_sync = measure("rows sync", None, &mut || {
         let mut src = source();
         let mut sink = CountComponents::default();
-        label_stream(&mut src, BAND, StripConfig::default(), &mut sink).expect("infallible");
+        label_stream(&mut src, BAND, strip_cfg(), &mut sink).expect("infallible");
         sink.count
     });
     let rows_pf = measure("rows decode∥label", Some(rows_sync.ms), &mut || {
         let mut src = PrefetchRows::with_depth(source(), BAND, args.depth);
         let mut sink = CountComponents::default();
-        label_stream(&mut src, BAND, StripConfig::default(), &mut sink).expect("infallible");
+        label_stream(&mut src, BAND, strip_cfg(), &mut sink).expect("infallible");
         sink.count
     });
+    let rows_pipe = measure("rows scan∥merge", Some(rows_sync.ms), &mut || {
+        let mut src = source();
+        let mut sink = CountComponents::default();
+        label_stream_pipelined(&mut src, BAND, strip_cfg(), &mut sink).expect("infallible");
+        sink.count
+    });
+    let rows_full = measure(
+        "rows decode∥scan∥merge",
+        Some(rows_sync.ms),
+        &mut || {
+            let mut src = PrefetchRows::with_depth(source(), BAND, args.depth);
+            let mut sink = CountComponents::default();
+            label_stream_pipelined(&mut src, BAND, strip_cfg(), &mut sink).expect("infallible");
+            sink.count
+        },
+    );
     assert_eq!(rows_pf.components, rows_sync.components);
+    assert_eq!(rows_pipe.components, rows_sync.components);
+    assert_eq!(rows_full.components, rows_sync.components);
 
     // --- tile grid ---
+    let tile_cfg = || TileGridConfig::default().with_fold(fold);
     let tiles_sync = measure("tiles sync", None, &mut || {
         let mut grid = GridSource::new(source(), TILE, TILE);
         let mut sink = CountComponents::default();
-        label_tiles(&mut grid, TileGridConfig::default(), &mut sink).expect("infallible");
+        label_tiles(&mut grid, tile_cfg(), &mut sink).expect("infallible");
         sink.count
     });
     let tiles_pipe = measure("tiles scan∥merge", Some(tiles_sync.ms), &mut || {
         let mut grid = GridSource::new(source(), TILE, TILE);
         let mut sink = CountComponents::default();
-        label_tiles_pipelined(&mut grid, TileGridConfig::default(), &mut sink).expect("infallible");
+        label_tiles_pipelined(&mut grid, tile_cfg(), &mut sink).expect("infallible");
         sink.count
     });
     let tiles_full = measure(
@@ -145,8 +170,7 @@ fn main() {
             let grid = GridSource::new(source(), TILE, TILE);
             let mut staged = PrefetchTiles::with_depth(grid, args.depth);
             let mut sink = CountComponents::default();
-            label_tiles_pipelined(&mut staged, TileGridConfig::default(), &mut sink)
-                .expect("infallible");
+            label_tiles_pipelined(&mut staged, tile_cfg(), &mut sink).expect("infallible");
             sink.count
         },
     );
@@ -167,7 +191,8 @@ fn main() {
         tile: TILE,
         depth: args.depth,
         device_latency_ms: DEVICE_LATENCY.as_secs_f64() * 1e3,
-        rows_modes: vec![rows_sync, rows_pf],
+        fold: fold.to_string(),
+        rows_modes: vec![rows_sync, rows_pf, rows_pipe, rows_full],
         tiles_modes: vec![tiles_sync, tiles_pipe, tiles_full],
     };
     if let Some(dir) = std::path::Path::new(&json_path).parent() {

@@ -21,14 +21,16 @@ use ccl_datasets::harness::time_best_of;
 use ccl_datasets::report::{write_json, Table};
 use ccl_datasets::synth::stream::bernoulli_stream;
 use ccl_pipeline::PrefetchRows;
-use ccl_stream::{label_stream, CountComponents, StripConfig};
+use ccl_stream::{label_stream, label_stream_pipelined, CountComponents, StripConfig};
 use serde::Serialize;
 
 const USAGE: &str = "stream_demo: bounded-memory streaming throughput vs image height
   --reps N         repetitions per cell (default 3)
   --threads CSV    in-band scan thread counts (default 1,4)
   --merger KIND    boundary merger for parallel mode: locked (default) or cas
+  --fold MODE      accumulation strategy: fused (default) or seq
   --prefetch       generate bands on a worker thread (ccl-pipeline adapter)
+  --pipeline       overlap band k's carry seam/fold with band k+1's scan
   --depth N        prefetch queue depth (default 2)
   --json PATH      snapshot path (default results/BENCH_stream.json)";
 
@@ -60,9 +62,15 @@ struct StreamBench {
     density: f64,
     threads: Vec<usize>,
     merger: String,
+    /// Accumulation strategy (`--fold`): `fused` folds component analysis
+    /// into the scan workers, `seq` is the sequential per-pixel baseline.
+    fold: String,
     /// Whether band generation ran on a `ccl-pipeline` prefetch worker
     /// (`--prefetch`), overlapping generation with labeling.
     prefetch: bool,
+    /// Whether the pipelined scan ∥ merge strip executor ran
+    /// (`--pipeline`).
+    pipeline: bool,
     rows: Vec<StreamRow>,
 }
 
@@ -70,15 +78,21 @@ fn main() {
     let args = BinArgs::parse(USAGE);
     let threads = args.threads.clone().unwrap_or_else(|| vec![1, 4]);
     let merger = args.merger_or_default();
+    let fold = args.fold_or_default();
     let json_path = args
         .json
         .clone()
         .unwrap_or_else(|| "results/BENCH_stream.json".to_string());
 
+    let mode = match (args.prefetch, args.pipeline) {
+        (true, true) => ", decode∥scan∥merge",
+        (true, false) => ", prefetched",
+        (false, true) => ", scan∥merge",
+        (false, false) => "",
+    };
     println!(
         "Streaming {WIDTH}-wide Bernoulli rasters in {BAND_ROWS}-row bands \
-         (density {DENSITY}, merger {merger}{})\n",
-        if args.prefetch { ", prefetched" } else { "" }
+         (density {DENSITY}, merger {merger}, fold {fold}{mode})\n"
     );
     let mut table = Table::new(
         [
@@ -102,16 +116,27 @@ fn main() {
         let mut components = 0u64;
         let mut peak = 0usize;
         for &t in &threads {
-            let cfg = StripConfig::parallel(t).with_merger(merger);
+            let cfg = StripConfig::parallel(t).with_merger(merger).with_fold(fold);
             let best = time_best_of(args.reps, || {
                 let source = bernoulli_stream(WIDTH, height, DENSITY, height as u64);
                 let mut sink = CountComponents::default();
-                let stats = if args.prefetch {
-                    let mut staged = PrefetchRows::with_depth(source, BAND_ROWS, args.depth);
-                    label_stream(&mut staged, BAND_ROWS, cfg.clone(), &mut sink)
-                } else {
-                    let mut source = source;
-                    label_stream(&mut source, BAND_ROWS, cfg.clone(), &mut sink)
+                let stats = match (args.prefetch, args.pipeline) {
+                    (true, true) => {
+                        let mut staged = PrefetchRows::with_depth(source, BAND_ROWS, args.depth);
+                        label_stream_pipelined(&mut staged, BAND_ROWS, cfg.clone(), &mut sink)
+                    }
+                    (true, false) => {
+                        let mut staged = PrefetchRows::with_depth(source, BAND_ROWS, args.depth);
+                        label_stream(&mut staged, BAND_ROWS, cfg.clone(), &mut sink)
+                    }
+                    (false, true) => {
+                        let mut source = source;
+                        label_stream_pipelined(&mut source, BAND_ROWS, cfg.clone(), &mut sink)
+                    }
+                    (false, false) => {
+                        let mut source = source;
+                        label_stream(&mut source, BAND_ROWS, cfg.clone(), &mut sink)
+                    }
                 }
                 .expect("generator streams are infallible");
                 components = stats.components;
@@ -146,11 +171,19 @@ fn main() {
         rows.push(row);
     }
     println!("{}", table.render());
-    println!(
-        "Resident rows stay at {} (band + carry row) at every height: \
-         labeling memory is O(band), not O(image).",
-        BAND_ROWS + 1
-    );
+    if args.pipeline {
+        println!(
+            "Resident rows stay at {} (two bands + carry row) at every \
+             height: labeling memory is O(band), not O(image).",
+            2 * BAND_ROWS + 1
+        );
+    } else {
+        println!(
+            "Resident rows stay at {} (band + carry row) at every height: \
+             labeling memory is O(band), not O(image).",
+            BAND_ROWS + 1
+        );
+    }
 
     let result = StreamBench {
         width: WIDTH,
@@ -158,7 +191,9 @@ fn main() {
         density: DENSITY,
         threads,
         merger: merger.to_string(),
+        fold: fold.to_string(),
         prefetch: args.prefetch,
+        pipeline: args.pipeline,
         rows,
     };
     if let Some(dir) = std::path::Path::new(&json_path).parent() {

@@ -162,6 +162,43 @@ proptest! {
         prop_assert!(stats.peak_resident_rows <= 2 * th + 1);
     }
 
+    /// The composed rows stack — `PrefetchRows` decode worker feeding the
+    /// pipelined strip labeler (decode ∥ scan ∥ merge) — is bit-identical
+    /// to the synchronous path for both fold modes, and its residency
+    /// stays within two bands + the carry row.
+    #[test]
+    fn prefetched_pipelined_rows_bit_identical(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=16,
+        h in 1usize..=16,
+        band in 1usize..=17,
+        threads in 1usize..=4,
+        prefetch in proptest::bool::ANY,
+        fused in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use ccl_stream::{analyze_stream_pipelined, FoldMode};
+        let img = generator_image(gen, w, h, seed);
+        let cfg = StripConfig::parallel(threads)
+            .with_fold(if fused { FoldMode::Fused } else { FoldMode::Sequential });
+        let mut sync_src = OwnedMemorySource::new(img.clone());
+        let (sync_records, sync_stats) =
+            analyze_stream(&mut sync_src, band, cfg.clone()).unwrap();
+
+        let (records, stats) = if prefetch {
+            let mut staged = PrefetchRows::new(OwnedMemorySource::new(img), band);
+            analyze_stream_pipelined(&mut staged, band, cfg).unwrap()
+        } else {
+            let mut src = OwnedMemorySource::new(img);
+            analyze_stream_pipelined(&mut src, band, cfg).unwrap()
+        };
+        prop_assert_eq!(records, sync_records, "generator {} band {}", gen, band);
+        prop_assert_eq!(stats.components, sync_stats.components);
+        prop_assert_eq!(stats.rows, sync_stats.rows);
+        prop_assert_eq!(stats.bands, sync_stats.bands);
+        prop_assert!(stats.peak_resident_rows <= 2 * band + 1);
+    }
+
     /// Labeled output through the pipeline reconciles into the exact
     /// whole-image partition.
     #[test]

@@ -10,8 +10,44 @@
 //! Consumers implement [`ComponentSink`] (and optionally [`LabelSink`]
 //! for labeled strip output); `Vec<ComponentRecord>` works out of the box
 //! for collect-everything callers.
+//!
+//! # Partial accumulators and the seam fold (fused analysis)
+//!
+//! The fused accumulation path ([`FoldMode::Fused`](crate::FoldMode), the
+//! default) never walks the pixels in a separate sequential pass.
+//! Instead every *scan worker* builds a **partial accumulator table**
+//! keyed by provisional label while it scans its chunk (or tile), and
+//! the seam/merge stage combines partials per *label*, not per pixel.
+//! Three invariants make this exact:
+//!
+//! 1. **Per-pixel contributions are order-free.** Every pixel contributes
+//!    one single-pixel accumulator ([`Accum::pixel`]) computed from its
+//!    *already-scanned global* neighbours (west + the three above, read
+//!    from the raw pixels — never from another chunk's labels, which may
+//!    not exist yet). Areas, bounding boxes, coordinate sums (integer
+//!    f64, exact below 2^53), perimeter deltas, Euler deltas and the
+//!    raster-min anchor are all folded with a **commutative, associative**
+//!    operation whose identity is [`Accum::EMPTY`] — so any partition of
+//!    the pixels into partials, folded in any order, reproduces the
+//!    sequential fold bit for bit (property-tested in
+//!    `tests/proptest_accum.rs`).
+//! 2. **Attribution follows connectivity.** A perimeter/Euler delta is
+//!    attributed to the pixel that closes it, and the neighbours it
+//!    involves are 8-adjacent — always the same final component — so
+//!    per-component sums survive arbitrary chunk/tile/seam merges.
+//! 3. **Partials stay where their label is.** A chunk's partials live in
+//!    the chunk's disjoint provisional-label range, so scan workers
+//!    write without synchronization. The merge stage folds each used
+//!    label's partial onto its union-find root — O(labels), not
+//!    O(pixels) — either *during* the carry seam (sequential stores,
+//!    via [`ccl_core::scan::FoldingStore`]) or right after it
+//!    (concurrent stores, where folding inside the merger would race).
+//!    The only pixels the merge stage ever touches are the band's (or
+//!    tile row's) **first line**, whose upper neighbours are the carry
+//!    row the scan stage must not depend on — an O(width) absorb.
 
 use ccl_core::label::LabelImage;
+use ccl_core::scan::Foldable;
 
 /// Identifier of a streamed component: assigned when the component first
 /// appears (raster order of its first pixel), never reused. When two open
@@ -120,6 +156,34 @@ impl Accum {
         }
     }
 
+    /// The accumulator of exactly one pixel with the given already-seen
+    /// neighbour mask — the unit the fused path folds: a component's
+    /// accumulator is the [`Foldable`] sum of its pixels' units (plus
+    /// nothing else), in any order. [`Accum::first`] is the special case
+    /// with no live neighbours.
+    #[inline]
+    pub fn pixel(r: usize, c: usize, west: bool, nw: bool, north: bool, ne: bool) -> Accum {
+        let mut a = Accum::first(r, c);
+        a.perimeter = 4 - 2 * (u64::from(west) + u64::from(north));
+        a.euler = 1 + i64::from(north) - i64::from(west || nw || north) - i64::from(north || ne);
+        a
+    }
+
+    /// Folds one pixel into a possibly-empty accumulator, in any order:
+    /// unlike [`Accum::add`] this neither assumes raster arrival nor a
+    /// live slot, so partial tables can absorb stray pixels (a band's
+    /// first line, accumulated by the merge stage) after the fact.
+    #[inline]
+    pub fn absorb(&mut self, r: usize, c: usize, west: bool, nw: bool, north: bool, ne: bool) {
+        if self.area == 0 {
+            *self = Accum::pixel(r, c, west, nw, north, ne);
+        } else {
+            let anchor = self.anchor.min((r, c));
+            self.add(r, c, west, nw, north, ne);
+            self.anchor = anchor;
+        }
+    }
+
     /// Adds one pixel. Pixels arrive in raster order, so the anchor never
     /// moves. `west`/`nw`/`north`/`ne` are the four already-scanned
     /// foreground neighbours of `(r, c)`: each shared 4-edge removes one
@@ -164,6 +228,12 @@ impl Accum {
         self.euler += other.euler;
     }
 
+    /// True for the unused-slot sentinel.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.area == 0
+    }
+
     /// Finishes the accumulator into an emitted record. A connected
     /// component's Euler characteristic is `1 − holes`, so the hole count
     /// falls out of the fold.
@@ -179,6 +249,33 @@ impl Accum {
             perimeter: self.perimeter,
             holes: (1 - self.euler).max(0) as u64,
         }
+    }
+}
+
+/// The fused path's fold: [`Accum::EMPTY`] is the identity, non-empty
+/// accumulators combine with [`Accum::merge_with`], and the surviving
+/// stream id is the smaller non-zero `gid` (fresh partials carry 0 until
+/// the merge stage assigns ids, so a carried component's id always
+/// wins). Commutative and associative — `tests/proptest_accum.rs` checks
+/// fold-order independence across all 15 synthetic generators.
+impl Foldable for Accum {
+    const EMPTY: Accum = Accum::EMPTY;
+
+    #[inline]
+    fn fold(&mut self, other: &Accum) {
+        if other.area == 0 {
+            return;
+        }
+        if self.area == 0 {
+            *self = *other;
+            return;
+        }
+        let gid = match (self.gid, other.gid) {
+            (0, g) | (g, 0) => g,
+            (a, b) => a.min(b),
+        };
+        self.merge_with(other);
+        self.gid = gid;
     }
 }
 
@@ -341,6 +438,53 @@ mod tests {
         assert_eq!(a.euler, 0);
         a.gid = 1;
         assert_eq!(a.into_record().holes, 1);
+    }
+
+    #[test]
+    fn pixel_unit_matches_add_and_first() {
+        assert_eq!(
+            format!("{:?}", Accum::pixel(3, 4, false, false, false, false)),
+            format!("{:?}", Accum::first(3, 4))
+        );
+        // folding pixel units in raster order reproduces first + add
+        let mut seq = Accum::first(2, 3);
+        seq.add(2, 4, true, false, false, false);
+        seq.add(3, 3, false, false, true, true);
+        let mut folded = Accum::EMPTY;
+        folded.fold(&Accum::pixel(2, 3, false, false, false, false));
+        folded.fold(&Accum::pixel(2, 4, true, false, false, false));
+        folded.fold(&Accum::pixel(3, 3, false, false, true, true));
+        assert_eq!(format!("{seq:?}"), format!("{folded:?}"));
+    }
+
+    #[test]
+    fn absorb_out_of_raster_order_keeps_raster_anchor() {
+        let mut a = Accum::EMPTY;
+        a.absorb(5, 2, false, false, false, false);
+        a.absorb(1, 7, false, false, false, false); // raster-earlier pixel later
+        assert_eq!(a.anchor, (1, 7));
+        assert_eq!(a.area, 2);
+        assert_eq!((a.min_r, a.min_c, a.max_r, a.max_c), (1, 2, 5, 7));
+    }
+
+    #[test]
+    fn fold_keeps_smaller_nonzero_gid_and_empty_is_identity() {
+        let mut a = Accum::first(0, 0);
+        a.gid = 9;
+        let mut b = Accum::first(1, 1);
+        b.gid = 4;
+        a.fold(&b);
+        assert_eq!(a.gid, 4);
+        assert_eq!(a.area, 2);
+        let mut c = Accum::first(2, 2); // fresh partial, gid 0
+        c.fold(&a);
+        assert_eq!(c.gid, 4);
+        let before = format!("{c:?}");
+        c.fold(&Accum::EMPTY);
+        assert_eq!(format!("{c:?}"), before);
+        let mut e = Accum::EMPTY;
+        e.fold(&c);
+        assert_eq!(format!("{e:?}"), before);
     }
 
     #[test]

@@ -65,6 +65,58 @@ where
     Ok((strips.into_label_image(), stats))
 }
 
+/// [`label_stream`] with the two-stage pipeline of [`crate::pipeline`]:
+/// band *k + 1*'s scan (and fused partial accumulation) overlaps band
+/// *k*'s carry seam / fold / compaction on a worker thread. Components
+/// are bit-identical to the synchronous driver;
+/// [`StreamStats::peak_resident_rows`] reports the pipeline's two-band +
+/// carry residency.
+pub fn label_stream_pipelined<S, C>(
+    source: &mut S,
+    band_rows: usize,
+    cfg: StripConfig,
+    sink: &mut C,
+) -> Result<StreamStats, StreamError>
+where
+    S: RowSource + Send + ?Sized,
+    C: ComponentSink,
+{
+    crate::pipeline::run_pipelined(source, band_rows, cfg, sink, None)
+}
+
+/// [`analyze_stream`] with the two-stage pipeline (see
+/// [`label_stream_pipelined`]).
+pub fn analyze_stream_pipelined<S>(
+    source: &mut S,
+    band_rows: usize,
+    cfg: StripConfig,
+) -> Result<(Vec<ComponentRecord>, StreamStats), StreamError>
+where
+    S: RowSource + Send + ?Sized,
+{
+    let mut records = Vec::new();
+    let stats = label_stream_pipelined(source, band_rows, cfg, &mut records)?;
+    Ok((records, stats))
+}
+
+/// [`stream_to_label_image`] with the two-stage pipeline (see
+/// [`label_stream_pipelined`]): labeled strips are emitted by the merge
+/// stage while the scan stage works one band ahead.
+pub fn stream_to_label_image_pipelined<S>(
+    source: &mut S,
+    band_rows: usize,
+    cfg: StripConfig,
+) -> Result<(LabelImage, StreamStats), StreamError>
+where
+    S: RowSource + Send + ?Sized,
+{
+    let mut components = CountComponents::default();
+    let mut strips = CollectLabelImage::default();
+    let stats =
+        crate::pipeline::run_pipelined(source, band_rows, cfg, &mut components, Some(&mut strips))?;
+    Ok((strips.into_label_image(), stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

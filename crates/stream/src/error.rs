@@ -22,6 +22,23 @@ pub enum StreamError {
     Worker(String),
 }
 
+impl StreamError {
+    /// Builds [`StreamError::Worker`] from a caught panic payload
+    /// (`&str`/`String` payloads pass through as the message, anything
+    /// else becomes a generic one). Used wherever a pipeline stage joins
+    /// a worker thread.
+    pub fn worker_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "worker panicked".to_string()
+        };
+        StreamError::Worker(msg)
+    }
+}
+
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -55,14 +55,18 @@ pub mod generators;
 pub mod labeler;
 pub mod netpbm;
 mod parallel;
+pub mod pipeline;
 pub mod source;
 
 pub use analysis::{
     Accum, CollectLabelImage, ComponentId, ComponentRecord, ComponentSink, CountComponents,
     LabelSink,
 };
-pub use driver::{analyze_stream, label_stream, stream_to_label_image};
+pub use driver::{
+    analyze_stream, analyze_stream_pipelined, label_stream, label_stream_pipelined,
+    stream_to_label_image, stream_to_label_image_pipelined,
+};
 pub use error::StreamError;
-pub use labeler::{BandUf, StreamStats, StripConfig, StripLabeler};
+pub use labeler::{BandUf, FoldMode, StreamStats, StripConfig, StripLabeler};
 pub use netpbm::{PbmSource, PgmSource};
 pub use source::{MemorySource, OwnedMemorySource, RowSource};

@@ -3,12 +3,20 @@
 //! The band is partitioned row-wise exactly like PAREMSP partitions a
 //! whole image ([`ccl_core::par::partition_rows`]); each chunk scans with
 //! a disjoint provisional-label range into a shared [`ConcurrentParents`]
-//! array whose low slots `1..=n_carry` hold the carried inter-band labels.
-//! Chunk-boundary rows merge in parallel with the configured MERGER
-//! (Algorithm 8 or its CAS variant), then the band's first row merges
-//! against the carried boundary row, split into column spans across the
-//! same workers — the same seam logic ([`merge_seam`] /
-//! [`merge_seam_span`]) throughout.
+//! array whose low slots `1..=carry_cap` are reserved for the carried
+//! inter-band labels. Chunk-boundary rows merge in parallel with the
+//! configured MERGER (Algorithm 8 or its CAS variant). In
+//! [`FoldMode::Fused`](crate::FoldMode) every worker also accumulates its
+//! chunk's partial [`Accum`] table while the pixels are cache-hot —
+//! writes stay contention-free because partials live in the chunk's own
+//! disjoint label range.
+//!
+//! The inter-band carry seam is *not* scanned here: it belongs to the
+//! merge stage ([`carry_seam_parallel`]), which is the only per-band work
+//! that depends on the previous band — the split that lets the pipelined
+//! executor run this scan one band ahead.
+
+use std::ops::Range;
 
 use ccl_core::par::MergerStore;
 use ccl_core::scan::{merge_seam, merge_seam_span, scan_two_line, split_spans};
@@ -16,73 +24,158 @@ use ccl_image::BinaryImage;
 use ccl_unionfind::par::{CasMerger, ConcurrentMerger, ConcurrentParents, LockedMerger};
 use ccl_unionfind::EquivalenceStore;
 
-use crate::labeler::StripConfig;
+use crate::analysis::Accum;
+use crate::labeler::{accumulate_chunk, FoldMode, StripConfig};
+
+/// Scan-stage output: the band's labels, the shared parent array, the
+/// fused partial table (label-indexed) and the used label ranges.
+pub(crate) type ParallelScan = (
+    Vec<u32>,
+    ConcurrentParents,
+    Option<Vec<Accum>>,
+    Vec<Range<u32>>,
+);
 
 /// Scans `band` with `cfg.threads` workers. Returns the band's label
-/// buffer and the shared parent array: slots `1..=n_carry` are the
-/// carried labels (already seam-merged against the band's first row when
-/// `carry` is non-empty), band labels start at `n_carry + 1`.
+/// buffer, the shared parent array (slots `1..=carry_cap` reserved for
+/// carried labels, band labels from `carry_cap + 1`), the fused partial
+/// accumulator table (label-indexed, [`FoldMode::Fused`] only) and the
+/// label ranges each chunk actually allocated. `r0` is the global row of
+/// the band's first row.
 pub(crate) fn scan_band_parallel(
     band: &BinaryImage,
-    carry: &[u32],
-    n_carry: u32,
+    r0: usize,
+    carry_cap: u32,
     cfg: &StripConfig,
-) -> (Vec<u32>, ConcurrentParents) {
+) -> ParallelScan {
     match cfg.merger {
         ccl_core::par::MergerKind::Locked => {
             let merger = match cfg.lock_stripes {
                 Some(s) => LockedMerger::with_stripes(s),
                 None => LockedMerger::new(),
             };
-            scan_with(band, carry, n_carry, cfg.threads, &merger)
+            scan_with(band, r0, carry_cap, cfg, &merger)
+        }
+        ccl_core::par::MergerKind::Cas => scan_with(band, r0, carry_cap, cfg, &CasMerger::new()),
+    }
+}
+
+/// Merges the inter-band carry seam in column spans across the configured
+/// workers (the paper's phase 3, run by the merge stage because it needs
+/// the carry row). A span's diagonal probes read the full carry row
+/// ([`merge_seam_span`]), so the partition merges exactly the same pairs
+/// as one whole-row call.
+pub(crate) fn carry_seam_parallel(
+    carry: &[u32],
+    top: &[u32],
+    parents: &ConcurrentParents,
+    cfg: &StripConfig,
+) {
+    match cfg.merger {
+        ccl_core::par::MergerKind::Locked => {
+            let merger = match cfg.lock_stripes {
+                Some(s) => LockedMerger::with_stripes(s),
+                None => LockedMerger::new(),
+            };
+            carry_seam_spans(carry, top, parents, cfg.threads, &merger);
         }
         ccl_core::par::MergerKind::Cas => {
-            scan_with(band, carry, n_carry, cfg.threads, &CasMerger::new())
+            carry_seam_spans(carry, top, parents, cfg.threads, &CasMerger::new())
         }
     }
 }
 
-fn scan_with<M: ConcurrentMerger>(
-    band: &BinaryImage,
+fn carry_seam_spans<M: ConcurrentMerger>(
     carry: &[u32],
-    n_carry: u32,
+    top: &[u32],
+    parents: &ConcurrentParents,
     threads: usize,
     merger: &M,
-) -> (Vec<u32>, ConcurrentParents) {
+) {
+    let spans = split_spans(carry.len(), threads);
+    if spans.len() <= 1 {
+        let mut store = MergerStore::new(parents, merger);
+        merge_seam(carry, top, &mut store);
+        return;
+    }
+    rayon::scope(|s| {
+        for span in spans {
+            let parents = &parents;
+            s.spawn(move |_| {
+                let mut store = MergerStore::new(parents, merger);
+                merge_seam_span(carry, top, span, &mut store);
+            });
+        }
+    });
+}
+
+fn scan_with<M: ConcurrentMerger>(
+    band: &BinaryImage,
+    r0: usize,
+    carry_cap: u32,
+    cfg: &StripConfig,
+    merger: &M,
+) -> ParallelScan {
     let (w, h) = (band.width(), band.height());
     debug_assert!(w > 0 && h > 0, "caller filters degenerate bands");
-    let mut chunks = ccl_core::par::partition_rows(h, w, threads.max(1));
+    let fused = cfg.fold == FoldMode::Fused;
+    let mut chunks = ccl_core::par::partition_rows(h, w, cfg.threads.max(1));
     for chunk in &mut chunks {
-        chunk.label_offset += n_carry;
+        chunk.label_offset += carry_cap;
     }
-    let slots = chunks.last().map_or(n_carry as usize + 1, |c| {
+    let slots = chunks.last().map_or(carry_cap as usize + 1, |c| {
         (c.label_offset + c.label_capacity) as usize
     });
     let parents = ConcurrentParents::new(slots);
     {
         let mut store = parents.chunk_store();
-        for id in 1..=n_carry {
+        for id in 1..=carry_cap {
             store.new_label(id);
         }
     }
     let mut labels = vec![0u32; w * h];
+    let mut partials = fused.then(|| vec![Accum::EMPTY; slots]);
+    let mut nexts: Vec<u32> = chunks.iter().map(|c| c.label_offset).collect();
 
-    // Phase 1: disjoint-range chunk scans (contention-free by construction).
+    // Phase 1: disjoint-range chunk scans (contention-free by
+    // construction); fused mode accumulates each chunk's partial table in
+    // the same worker, right after its scan, while the pixels are hot.
     rayon::scope(|s| {
         let mut rest: &mut [u32] = &mut labels;
-        for chunk in &chunks {
+        let mut rest_parts: &mut [Accum] = match &mut partials {
+            Some(p) => &mut p[(carry_cap as usize + 1).min(slots)..],
+            None => &mut [],
+        };
+        for (chunk, next_out) in chunks.iter().zip(nexts.iter_mut()) {
             let (mine, tail) = rest.split_at_mut(chunk.num_rows() * w);
             rest = tail;
+            let (my_parts, ptail) = if fused {
+                rest_parts.split_at_mut(chunk.label_capacity as usize)
+            } else {
+                (&mut [] as &mut [Accum], rest_parts)
+            };
+            rest_parts = ptail;
             let parents = &parents;
             s.spawn(move |_| {
                 let mut store = parents.chunk_store();
-                scan_two_line(
+                let next = scan_two_line(
                     band,
                     chunk.rows.clone(),
                     mine,
                     &mut store,
                     chunk.label_offset,
                 );
+                *next_out = next;
+                if fused {
+                    accumulate_chunk(
+                        band,
+                        mine,
+                        chunk.rows.clone(),
+                        r0,
+                        chunk.label_offset,
+                        my_parts,
+                    );
+                }
             });
         }
     });
@@ -106,28 +199,10 @@ fn scan_with<M: ConcurrentMerger>(
         });
     }
 
-    // Phase 3: the inter-band seam. One seam per band, but O(width): the
-    // row is split into column spans merged in parallel. A span's
-    // diagonal probes read the full carry row ([`merge_seam_span`]), so
-    // the partition merges exactly the same pairs as one whole-row call.
-    if !carry.is_empty() {
-        let spans = split_spans(w, threads);
-        if spans.len() <= 1 {
-            let mut store = MergerStore::new(&parents, merger);
-            merge_seam(carry, &labels[..w], &mut store);
-        } else {
-            let cur = &labels[..w];
-            rayon::scope(|s| {
-                for span in spans {
-                    let parents = &parents;
-                    s.spawn(move |_| {
-                        let mut store = MergerStore::new(parents, merger);
-                        merge_seam_span(carry, cur, span, &mut store);
-                    });
-                }
-            });
-        }
-    }
-
-    (labels, parents)
+    let used = chunks
+        .iter()
+        .zip(&nexts)
+        .map(|(c, &n)| c.label_offset..n)
+        .collect();
+    (labels, parents, partials, used)
 }

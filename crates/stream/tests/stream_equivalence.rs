@@ -19,8 +19,8 @@ use ccl_datasets::synth::stream::bernoulli_stream;
 use ccl_datasets::synth::texture::{checkerboard, grating, rings, stripes};
 use ccl_image::BinaryImage;
 use ccl_stream::{
-    analyze_stream, stream_to_label_image, ComponentRecord, MemorySource, RowSource, StripConfig,
-    StripLabeler,
+    analyze_stream, analyze_stream_pipelined, stream_to_label_image, ComponentRecord, FoldMode,
+    MemorySource, OwnedMemorySource, RowSource, StripConfig, StripLabeler,
 };
 
 /// One image per synthetic generator family, sized `w × h` (the spiral is
@@ -155,6 +155,66 @@ proptest! {
         prop_assert_eq!(par, seq, "generator {} threads {}", gen, threads);
     }
 
+    /// Tentpole acceptance: the fused fold (per-chunk partial
+    /// accumulators merged at the seam) is bit-identical to the
+    /// sequential per-pixel fold — records *and* stats — across
+    /// generators, band heights and thread counts, synchronous and
+    /// pipelined.
+    #[test]
+    fn fused_fold_bit_identical_to_sequential_fold(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=18,
+        h in 1usize..=18,
+        band in 1usize..=19,
+        threads in 1usize..=6,
+        pipelined in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let img = generator_image(gen, w, h, seed);
+        let run = |fold: FoldMode| {
+            let cfg = StripConfig::parallel(threads).with_fold(fold);
+            if pipelined {
+                let mut src = OwnedMemorySource::new(img.clone());
+                analyze_stream_pipelined(&mut src, band, cfg).unwrap()
+            } else {
+                let mut src = MemorySource::new(&img);
+                analyze_stream(&mut src, band, cfg).unwrap()
+            }
+        };
+        let (seq_records, seq_stats) = run(FoldMode::Sequential);
+        let (fused_records, fused_stats) = run(FoldMode::Fused);
+        prop_assert_eq!(
+            fused_records, seq_records,
+            "generator {} band {} threads {} pipelined {}", gen, band, threads, pipelined
+        );
+        prop_assert_eq!(fused_stats, seq_stats);
+    }
+
+    /// The pipelined scan ∥ merge executor produces the same records as
+    /// the synchronous driver, and its residency never exceeds two bands
+    /// plus the carry row.
+    #[test]
+    fn pipelined_strip_matches_synchronous(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=18,
+        h in 1usize..=18,
+        band in 1usize..=19,
+        seed in 0u64..1000,
+    ) {
+        let img = generator_image(gen, w, h, seed);
+        let mut sync_src = MemorySource::new(&img);
+        let (sync_records, sync_stats) =
+            analyze_stream(&mut sync_src, band, StripConfig::default()).unwrap();
+        let mut src = OwnedMemorySource::new(img.clone());
+        let (records, stats) =
+            analyze_stream_pipelined(&mut src, band, StripConfig::default()).unwrap();
+        prop_assert_eq!(records, sync_records, "generator {} band {}", gen, band);
+        prop_assert_eq!(stats.components, sync_stats.components);
+        prop_assert_eq!(stats.rows, sync_stats.rows);
+        prop_assert_eq!(stats.bands, sync_stats.bands);
+        prop_assert!(stats.peak_resident_rows <= 2 * band.min(img.height().max(1)) + 1);
+    }
+
     /// Labeled-strip output reconciles into the exact whole-image
     /// partition.
     #[test]
@@ -205,8 +265,12 @@ fn tall_stream_flat_memory_matches_whole_image() {
 }
 
 /// The full acceptance-criteria scale: 1,024 × 262,144 (268 Mpixel) in
-/// 1,024-row bands. Ignored by default (minutes in debug builds); run
-/// with `cargo test --release -p ccl-stream -- --ignored`.
+/// 1,024-row bands, labeled twice — synchronously (fused fold, band +
+/// carry resident) and through the pipelined scan ∥ merge executor
+/// (which must report its two-band + carry residency and stay within the
+/// ≤ 2-band bound) — with bit-identical records. Ignored by default
+/// (minutes in debug builds); run with
+/// `cargo test --release -p ccl-stream -- --ignored`.
 #[test]
 #[ignore = "268 Mpixel acceptance run; use cargo test --release -- --ignored"]
 fn gigascale_stream_flat_memory_matches_whole_image() {
@@ -220,6 +284,22 @@ fn gigascale_stream_flat_memory_matches_whole_image() {
     }
     let stats = labeler.finish(&mut records);
     assert_eq!(stats.rows, h);
+
+    // The pipelined strip labeler: scan (with fused partial
+    // accumulation) one band ahead of the merge stage. Residency is two
+    // bands + the carry row — the pipelined ≤ 2-band bound — and the
+    // records are bit-identical to the synchronous run.
+    let mut piped_source = bernoulli_stream(w, h, 0.5, 4242);
+    let (piped_records, piped_stats) =
+        analyze_stream_pipelined(&mut piped_source, band, StripConfig::default()).unwrap();
+    assert_eq!(piped_stats.rows, h);
+    assert!(
+        piped_stats.peak_resident_rows <= 2 * band + 1,
+        "pipelined residency exceeded two bands + carry"
+    );
+    assert_eq!(piped_stats.peak_resident_rows, 2 * band + 1);
+    assert_eq!(piped_records, records);
+    assert_eq!(piped_stats.components, stats.components);
 
     let img = bernoulli(w, h, 0.5, 4242);
     assert_eq!(stats.components, aremsp(&img).num_components() as u64);

@@ -26,19 +26,32 @@
 //! of image height — and independent of image *width* mattering only
 //! linearly (the carry row), never quadratically.
 
+use std::ops::Range;
+
 use ccl_core::par::{MergerKind, MergerStore};
 use ccl_core::scan::{
     max_labels_two_line, merge_seam, merge_seam_span, merge_seam_strided, scan_two_line,
-    split_spans,
+    split_spans, Foldable as _, FoldingStore,
 };
 use ccl_image::BinaryImage;
 use ccl_stream::analysis::Accum;
-use ccl_stream::{BandUf, ComponentSink, StreamStats};
+use ccl_stream::labeler::fold_carried;
+use ccl_stream::{BandUf, ComponentSink, FoldMode, StreamStats};
 use ccl_unionfind::par::{CasMerger, ConcurrentMerger, ConcurrentParents, LockedMerger};
 use ccl_unionfind::{EquivalenceStore, RemSP, UnionFind};
 
 use crate::error::TilesError;
 use crate::sink::{TileMeta, TileSink};
+
+/// Scan-stage output of the parallel tile-row path: per-tile label
+/// buffers, the shared parent array, the fused partial table
+/// (label-indexed) and the used label ranges.
+type ParallelTileScan = (
+    Vec<Vec<u32>>,
+    ConcurrentParents,
+    Option<Vec<Accum>>,
+    Vec<Range<u32>>,
+);
 
 /// Configuration for [`TileGridLabeler`].
 #[derive(Debug, Clone)]
@@ -50,6 +63,10 @@ pub struct TileGridConfig {
     pub merger: MergerKind,
     /// Lock stripes for [`MergerKind::Locked`]; `None` = default.
     pub lock_stripes: Option<usize>,
+    /// Accumulation strategy (default [`FoldMode::Fused`]: the tile
+    /// scans build partial accumulator tables, the merge stage folds per
+    /// label instead of re-reading every pixel).
+    pub fold: FoldMode,
 }
 
 impl Default for TileGridConfig {
@@ -58,6 +75,7 @@ impl Default for TileGridConfig {
             threads: 1,
             merger: MergerKind::default(),
             lock_stripes: None,
+            fold: FoldMode::default(),
         }
     }
 }
@@ -79,6 +97,12 @@ impl TileGridConfig {
     /// Builder: replaces the boundary-merge implementation.
     pub fn with_merger(mut self, merger: MergerKind) -> Self {
         self.merger = merger;
+        self
+    }
+
+    /// Builder: replaces the accumulation strategy.
+    pub fn with_fold(mut self, fold: FoldMode) -> Self {
+        self.fold = fold;
         self
     }
 }
@@ -253,7 +277,7 @@ impl TileGridLabeler {
         sink: Option<&mut dyn TileSink>,
     ) -> Result<(), TilesError> {
         let n_carry = (self.active.len() - 1) as u32;
-        let row = scan_tile_row(tiles, self.width, &self.cfg, n_carry)?;
+        let row = scan_tile_row(tiles, self.width, &self.cfg, n_carry, self.rows_done)?;
         self.merge_scanned(row, components, sink)
     }
 
@@ -266,7 +290,7 @@ impl TileGridLabeler {
     /// threads, one tile row apart.
     pub(crate) fn merge_scanned(
         &mut self,
-        mut row: ScannedTileRow,
+        row: ScannedTileRow,
         components: &mut dyn ComponentSink,
         sink: Option<&mut dyn TileSink>,
     ) -> Result<(), TilesError> {
@@ -281,114 +305,238 @@ impl TileGridLabeler {
             .peak_resident_rows
             .max(th + usize::from(!self.carry.is_empty()));
         let n_carry = (self.active.len() - 1) as u32;
+        let r0 = self.rows_done;
+        let nslots = row.uf.slots();
 
-        // The horizontal seam against the carry row — the only part of
-        // the row's labeling that depends on earlier tile rows.
-        if !self.carry.is_empty() {
-            let top = assemble_row(&row.bufs, &row.widths, 0, w);
-            match &mut row.uf {
-                BandUf::Seq(store) => merge_seam(&self.carry, &top, store),
-                BandUf::Par(parents) => {
-                    merge_carry_seam_parallel(&self.carry, &top, parents, &self.cfg)
-                }
-            }
-        }
         let ScannedTileRow {
             widths,
             x0s,
             bufs,
             mut uf,
+            partials,
+            used,
             ..
         } = row;
         let ntiles = bufs.len();
 
-        // Fold the carried accumulators onto their (possibly merged)
-        // roots. Any set containing a carried id is rooted at a carried
-        // id (Rem roots are set minima; carried ids occupy the low slots).
-        let nslots = uf.slots();
-        let mut acc = vec![Accum::EMPTY; nslots];
+        let mut root_of: Vec<u32> = vec![u32::MAX; nslots];
         let mut touched: Vec<u32> = Vec::new();
         let mut merges: Vec<(u64, u64)> = Vec::new();
-        for id in 1..=n_carry {
-            let root = uf.find(id);
-            let src = self.active[id as usize];
-            let dst = &mut acc[root as usize];
-            if dst.area == 0 {
-                *dst = src;
-                touched.push(root);
-            } else {
-                let (kept, absorbed) = if dst.gid <= src.gid {
-                    (dst.gid, src.gid)
-                } else {
-                    (src.gid, dst.gid)
-                };
-                dst.merge_with(&src);
-                dst.gid = kept;
-                merges.push((kept, absorbed));
-            }
-        }
 
-        // Accumulate the row's pixels per root in *global raster order*
-        // (row-major across the whole tile row), so fresh ids are
-        // assigned exactly as the strip labeler would and anchors stay
-        // raster-first. `prev`/`cur` carry the previous global pixel
-        // row's foreground mask across tile boundaries for the
-        // perimeter/Euler folds (the carry row for the first line).
-        let r0 = self.rows_done;
-        let mut tile_gids: Vec<Vec<u64>> = if sink.is_some() {
-            widths.iter().map(|&tw| vec![0u64; tw * th]).collect()
-        } else {
-            Vec::new()
-        };
-        let mut root_of: Vec<u32> = vec![u32::MAX; nslots];
-        let mut prev: Vec<bool> = vec![false; w];
-        for (x, &l) in self.carry.iter().enumerate() {
-            prev[x] = l != 0;
-        }
-        let mut cur: Vec<bool> = vec![false; w];
-        for r in 0..th {
-            for t in 0..ntiles {
-                let tw = widths[t];
-                let base = r * tw;
-                for c in 0..tw {
-                    let l = bufs[t][base + c];
-                    let x = x0s[t] + c;
-                    cur[x] = l != 0;
-                    if l == 0 {
-                        continue;
-                    }
-                    let root = if root_of[l as usize] != u32::MAX {
-                        root_of[l as usize]
-                    } else {
-                        let root = uf.find(l);
-                        root_of[l as usize] = root;
-                        root
-                    };
-                    let west = x > 0 && cur[x - 1];
-                    let nw = x > 0 && prev[x - 1];
-                    let north = prev[x];
-                    let ne = x + 1 < w && prev[x + 1];
-                    let slot = &mut acc[root as usize];
-                    let (gr, gc) = (r0 + r, x);
-                    if slot.area == 0 {
-                        debug_assert!(!west && !north, "first pixel with live 4-neighbour");
-                        *slot = Accum::first(gr, gc);
-                        slot.gid = self.next_gid;
-                        self.next_gid += 1;
-                        touched.push(root);
-                    } else {
-                        slot.add(gr, gc, west, nw, north, ne);
-                    }
-                    if sink.is_some() {
-                        tile_gids[t][base + c] = slot.gid;
+        // Fold phase: after this block `acc[root]` holds the complete
+        // accumulator of every component with a pixel in the row (fresh
+        // ones still gid 0), `touched` lists the occupied roots, and
+        // `merges` the carried-id pairs that turned out to be one
+        // component. The horizontal carry seam — the only part of the
+        // row's labeling that depends on earlier tile rows — runs here
+        // too.
+        let mut acc = match partials {
+            Some(mut parts) => {
+                // Fused: partials are complete except the row's first
+                // line — absorb it here, where the carry row is known
+                // (labels double as the foreground mask).
+                for t in 0..ntiles {
+                    let tw = widths[t];
+                    for c in 0..tw {
+                        let l = bufs[t][c];
+                        if l == 0 {
+                            continue;
+                        }
+                        let x = x0s[t] + c;
+                        let west = if c > 0 {
+                            bufs[t][c - 1] != 0
+                        } else {
+                            t > 0 && widths[t - 1] > 0 && bufs[t - 1][widths[t - 1] - 1] != 0
+                        };
+                        let (nw, north, ne) = if !self.carry.is_empty() {
+                            (
+                                x > 0 && self.carry[x - 1] != 0,
+                                self.carry[x] != 0,
+                                x + 1 < w && self.carry[x + 1] != 0,
+                            )
+                        } else {
+                            (false, false, false)
+                        };
+                        parts[l as usize].absorb(r0, x, west, nw, north, ne);
                     }
                 }
+                let is_par = matches!(uf, BandUf::Par(_));
+                match &mut uf {
+                    BandUf::Seq(store) => {
+                        // Fold each used label's partial onto its in-row
+                        // root, then let the carry seam itself combine
+                        // partials as it unions (the core fold hook).
+                        for range in &used {
+                            for l in range.clone() {
+                                if parts[l as usize].is_empty() {
+                                    continue;
+                                }
+                                let root = store.find(l);
+                                if root == l {
+                                    touched.push(l);
+                                } else {
+                                    let p = std::mem::replace(&mut parts[l as usize], Accum::EMPTY);
+                                    parts[root as usize].fold(&p);
+                                }
+                            }
+                        }
+                        for id in 1..=n_carry {
+                            parts[id as usize] = self.active[id as usize];
+                            touched.push(id);
+                        }
+                        if !self.carry.is_empty() {
+                            let top = assemble_row(&bufs, &widths, 0, w);
+                            let mut folding = FoldingStore::new(store, &mut parts);
+                            merge_seam(&self.carry, &top, &mut folding);
+                        }
+                        // Carried ids that now share a root merged; replay
+                        // the pairwise events (identical to the
+                        // sequential fold's bookkeeping).
+                        let mut kept: Vec<u64> = vec![0; n_carry as usize + 1];
+                        for id in 1..=n_carry {
+                            let root = store.find(id) as usize;
+                            debug_assert!(root <= n_carry as usize, "carried roots are carried");
+                            let gid = self.active[id as usize].gid;
+                            if kept[root] == 0 {
+                                kept[root] = gid;
+                            } else {
+                                let (k, a) = if kept[root] <= gid {
+                                    (kept[root], gid)
+                                } else {
+                                    (gid, kept[root])
+                                };
+                                merges.push((k, a));
+                                kept[root] = k;
+                            }
+                        }
+                    }
+                    BandUf::Par(parents) => {
+                        // Concurrent mergers cannot fold safely mid-union:
+                        // run the carry seam first (column spans across
+                        // the workers); the fold below happens after, per
+                        // label — O(labels), not O(pixels).
+                        if !self.carry.is_empty() {
+                            let top = assemble_row(&bufs, &widths, 0, w);
+                            merge_carry_seam_parallel(&self.carry, &top, parents, &self.cfg);
+                        }
+                    }
+                }
+                if is_par {
+                    fold_carried(
+                        &mut uf,
+                        &self.active,
+                        n_carry,
+                        &mut parts,
+                        &mut touched,
+                        &mut merges,
+                    );
+                    for range in &used {
+                        for l in range.clone() {
+                            if parts[l as usize].is_empty() {
+                                continue;
+                            }
+                            let root = uf.find(l);
+                            root_of[l as usize] = root;
+                            if root == l {
+                                touched.push(l);
+                            } else {
+                                let p = std::mem::replace(&mut parts[l as usize], Accum::EMPTY);
+                                parts[root as usize].fold(&p);
+                            }
+                        }
+                    }
+                }
+                parts
             }
-            std::mem::swap(&mut prev, &mut cur);
+            None => {
+                // Sequential fold: seam first, then one pass over the
+                // row's pixels accumulating per root (the pre-fused
+                // baseline).
+                if !self.carry.is_empty() {
+                    let top = assemble_row(&bufs, &widths, 0, w);
+                    match &mut uf {
+                        BandUf::Seq(store) => merge_seam(&self.carry, &top, store),
+                        BandUf::Par(parents) => {
+                            merge_carry_seam_parallel(&self.carry, &top, parents, &self.cfg)
+                        }
+                    }
+                }
+                let mut acc = vec![Accum::EMPTY; nslots];
+                fold_carried(
+                    &mut uf,
+                    &self.active,
+                    n_carry,
+                    &mut acc,
+                    &mut touched,
+                    &mut merges,
+                );
+
+                // Accumulate the row's pixels per root in *global raster
+                // order* (row-major across the whole tile row), so fresh
+                // ids are assigned exactly as the strip labeler would and
+                // anchors stay raster-first. `prev`/`cur` carry the
+                // previous global pixel row's foreground mask across tile
+                // boundaries for the perimeter/Euler folds (the carry row
+                // for the first line).
+                let mut prev: Vec<bool> = vec![false; w];
+                for (x, &l) in self.carry.iter().enumerate() {
+                    prev[x] = l != 0;
+                }
+                let mut cur: Vec<bool> = vec![false; w];
+                for r in 0..th {
+                    for t in 0..ntiles {
+                        let tw = widths[t];
+                        let base = r * tw;
+                        for c in 0..tw {
+                            let l = bufs[t][base + c];
+                            let x = x0s[t] + c;
+                            cur[x] = l != 0;
+                            if l == 0 {
+                                continue;
+                            }
+                            let root = uf.find_cached(&mut root_of, l);
+                            let west = x > 0 && cur[x - 1];
+                            let nw = x > 0 && prev[x - 1];
+                            let north = prev[x];
+                            let ne = x + 1 < w && prev[x + 1];
+                            let slot = &mut acc[root as usize];
+                            let (gr, gc) = (r0 + r, x);
+                            if slot.area == 0 {
+                                debug_assert!(!west && !north, "first pixel with live 4-neighbour");
+                                *slot = Accum::first(gr, gc);
+                                touched.push(root);
+                            } else {
+                                slot.add(gr, gc, west, nw, north, ne);
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut prev, &mut cur);
+                }
+                acc
+            }
+        };
+
+        // Assign fresh ids in raster order of each new component's first
+        // pixel — its anchor, unique per component, so the sort
+        // reproduces the sequential pass's id sequence exactly.
+        let mut fresh: Vec<((usize, usize), u32)> = touched
+            .iter()
+            .filter(|&&root| {
+                let a = &acc[root as usize];
+                a.area > 0 && a.gid == 0
+            })
+            .map(|&root| (acc[root as usize].anchor, root))
+            .collect();
+        fresh.sort_unstable();
+        for &(_, root) in &fresh {
+            acc[root as usize].gid = self.next_gid;
+            self.next_gid += 1;
         }
 
         // Components with a pixel on the row's last line stay open:
         // compact them to active ids 1..=k and rebuild the carry row.
+        // The fused sequential path resolves roots lazily: its carry seam
+        // changed roots after the fold sweep, so the cache fills here.
         let mut new_active: Vec<Accum> = vec![Accum::EMPTY];
         let mut new_carry = vec![0u32; w];
         let mut survivor_id: Vec<u32> = vec![0; nslots];
@@ -400,7 +548,7 @@ impl TileGridLabeler {
                 if l == 0 {
                     continue;
                 }
-                let root = root_of[l as usize] as usize;
+                let root = uf.find_cached(&mut root_of, l) as usize;
                 if survivor_id[root] == 0 {
                     new_active.push(acc[root]);
                     survivor_id[root] = (new_active.len() - 1) as u32;
@@ -411,7 +559,7 @@ impl TileGridLabeler {
 
         let mut closed: Vec<Accum> = touched
             .iter()
-            .filter(|&&root| survivor_id[root as usize] == 0)
+            .filter(|&&root| survivor_id[root as usize] == 0 && acc[root as usize].area > 0)
             .map(|&root| acc[root as usize])
             .collect();
         closed.sort_by_key(|a| a.gid);
@@ -426,6 +574,16 @@ impl TileGridLabeler {
                 sink.merge(kept, absorbed);
             }
             for t in 0..ntiles {
+                let tw = widths[t];
+                let mut gids = vec![0u64; tw * th];
+                for (i, g) in gids.iter_mut().enumerate() {
+                    let l = bufs[t][i];
+                    if l == 0 {
+                        continue;
+                    }
+                    let root = uf.find_cached(&mut root_of, l);
+                    *g = acc[root as usize].gid;
+                }
                 sink.tile(
                     &TileMeta {
                         tile_row: self.tile_rows_done,
@@ -435,7 +593,7 @@ impl TileGridLabeler {
                         width: widths[t],
                         height: th,
                     },
-                    &tile_gids[t],
+                    &gids,
                 )?;
             }
         }
@@ -465,14 +623,75 @@ pub(crate) struct ScannedTileRow {
     /// The row's equivalences: carried-id slots `1..=carry_cap`, tile
     /// labels from `carry_cap + 1`.
     pub(crate) uf: BandUf,
+    /// Fused mode: partial accumulators indexed by provisional label,
+    /// covering every pixel of the row except its first line (whose
+    /// upper neighbours are the carry row the scan must not read).
+    pub(crate) partials: Option<Vec<Accum>>,
+    /// Provisional-label ranges the scan actually allocated — the merge
+    /// stage's fold sweeps these instead of the full slot space.
+    pub(crate) used: Vec<Range<u32>>,
     /// True for rows with no pixels (zero height or zero width): the
     /// merge stage only counts them.
     pub(crate) degenerate: bool,
 }
 
+/// Accumulates one tile's fused partial table: every foreground pixel of
+/// the tile's rows `1..th` folds its single-pixel accumulator into
+/// `parts[label - base]`. Neighbour probes read the raw tile pixels —
+/// the adjacent tiles' edge columns included — so the result never
+/// depends on another tile's label buffer, which may not exist yet. The
+/// row's global first line is always skipped: its upper neighbours are
+/// the carry row, which the merge stage absorbs in O(width).
+#[allow(clippy::too_many_arguments)]
+fn accumulate_tile(
+    tiles: &[BinaryImage],
+    t: usize,
+    buf: &[u32],
+    th: usize,
+    r0: usize,
+    x0: usize,
+    base: u32,
+    parts: &mut [Accum],
+) {
+    let tile = &tiles[t];
+    let tw = tile.width();
+    let left = (t > 0).then(|| &tiles[t - 1]).filter(|l| l.width() > 0);
+    let right = tiles.get(t + 1).filter(|r| r.width() > 0);
+    for r in 1..th {
+        let row_base = r * tw;
+        let cur = tile.row(r);
+        let up = tile.row(r - 1);
+        for c in 0..tw {
+            let l = buf[row_base + c];
+            if l == 0 {
+                continue;
+            }
+            let west = if c > 0 {
+                cur[c - 1] == 1
+            } else {
+                left.is_some_and(|lt| lt.row(r)[lt.width() - 1] == 1)
+            };
+            let nw = if c > 0 {
+                up[c - 1] == 1
+            } else {
+                left.is_some_and(|lt| lt.row(r - 1)[lt.width() - 1] == 1)
+            };
+            let north = up[c] == 1;
+            let ne = if c + 1 < tw {
+                up[c + 1] == 1
+            } else {
+                right.is_some_and(|rt| rt.row(r - 1)[0] == 1)
+            };
+            parts[(l - base) as usize].absorb(r0 + r, x0 + c, west, nw, north, ne);
+        }
+    }
+}
+
 /// The scan stage: validates a tile row's shape, scans every tile with
 /// chunk-local semantics (RemSP sequentially, PAREMSP worker groups in
-/// parallel mode) and merges the vertical seams between adjacent tiles.
+/// parallel mode), merges the vertical seams between adjacent tiles, and
+/// — in [`FoldMode::Fused`] — accumulates every tile's partial table
+/// while the pixels are hot ([`accumulate_tile`]).
 ///
 /// Everything here is independent of the carried boundary row — the one
 /// dependency between consecutive tile rows — except for the size of the
@@ -482,12 +701,15 @@ pub(crate) struct ScannedTileRow {
 /// bound `⌈w/2⌉` (no row can carry more open components than that), so
 /// the scan can run before the previous row's compaction has decided the
 /// real count. Unused reserved slots stay singleton sets that no tile
-/// label ever resolves to, so the output is identical either way.
+/// label ever resolves to, so the output is identical either way. `r0`
+/// is the global row of the tile row's first line (partial accumulators
+/// hold global coordinates).
 pub(crate) fn scan_tile_row(
     tiles: &[BinaryImage],
     width: usize,
     cfg: &TileGridConfig,
     carry_cap: u32,
+    r0: usize,
 ) -> Result<ScannedTileRow, TilesError> {
     let total: usize = tiles.iter().map(BinaryImage::width).sum();
     if total != width {
@@ -510,9 +732,12 @@ pub(crate) fn scan_tile_row(
             x0s: Vec::new(),
             bufs: Vec::new(),
             uf: BandUf::Seq(RemSP::new()),
+            partials: None,
+            used: Vec::new(),
             degenerate: true,
         });
     }
+    let fused = cfg.fold == FoldMode::Fused;
     let widths: Vec<usize> = tiles.iter().map(BinaryImage::width).collect();
     let mut x0s = Vec::with_capacity(tiles.len());
     let mut x0 = 0usize;
@@ -521,7 +746,7 @@ pub(crate) fn scan_tile_row(
         x0 += tw;
     }
 
-    let (bufs, uf) = if cfg.threads <= 1 {
+    let (bufs, uf, partials, used) = if cfg.threads <= 1 {
         let capacity: usize = widths
             .iter()
             .map(|&tw| max_labels_two_line(th, tw))
@@ -533,9 +758,16 @@ pub(crate) fn scan_tile_row(
             store.new_label(id);
         }
         let mut bufs: Vec<Vec<u32>> = widths.iter().map(|&tw| vec![0u32; tw * th]).collect();
+        let mut partials = fused.then(|| vec![Accum::EMPTY; capacity]);
         let mut next = carry_cap + 1;
-        for (tile, buf) in tiles.iter().zip(bufs.iter_mut()) {
-            next = scan_two_line(tile, 0..th, buf, &mut store, next);
+        for (t, buf) in bufs.iter_mut().enumerate() {
+            next = scan_two_line(&tiles[t], 0..th, buf, &mut store, next);
+            if let Some(parts) = &mut partials {
+                accumulate_tile(tiles, t, buf, th, r0, x0s[t], 0, parts);
+            }
+        }
+        if let Some(parts) = &mut partials {
+            parts.truncate(next as usize);
         }
         for t in 1..tiles.len() {
             let lw = widths[t - 1];
@@ -548,26 +780,29 @@ pub(crate) fn scan_tile_row(
                 &mut store,
             );
         }
-        (bufs, BandUf::Seq(store))
+        let used: Vec<Range<u32>> = std::iter::once(carry_cap + 1..next).collect();
+        (bufs, BandUf::Seq(store), partials, used)
     } else {
-        let (bufs, parents) = match cfg.merger {
+        let (bufs, parents, partials, used) = match cfg.merger {
             MergerKind::Locked => {
                 let merger = match cfg.lock_stripes {
                     Some(s) => LockedMerger::with_stripes(s),
                     None => LockedMerger::new(),
                 };
-                scan_tile_row_parallel(tiles, &widths, th, carry_cap, cfg.threads, &merger)
+                scan_tile_row_parallel(tiles, &widths, &x0s, th, carry_cap, cfg, r0, &merger)
             }
             MergerKind::Cas => scan_tile_row_parallel(
                 tiles,
                 &widths,
+                &x0s,
                 th,
                 carry_cap,
-                cfg.threads,
+                cfg,
+                r0,
                 &CasMerger::new(),
             ),
         };
-        (bufs, BandUf::Par(parents))
+        (bufs, BandUf::Par(parents), partials, used)
     };
     Ok(ScannedTileRow {
         th,
@@ -575,6 +810,8 @@ pub(crate) fn scan_tile_row(
         x0s,
         bufs,
         uf,
+        partials,
+        used,
         degenerate: false,
     })
 }
@@ -630,18 +867,25 @@ fn assemble_row(bufs: &[Vec<u32>], widths: &[usize], r: usize, width: usize) -> 
 /// Parallel tile-row scan: tiles are grouped into at most `threads`
 /// contiguous runs scanned concurrently with disjoint provisional-label
 /// ranges, then the vertical seams merge concurrently with the configured
-/// MERGER. The horizontal carry seam is the merge stage's job
-/// ([`merge_carry_seam_parallel`]).
+/// MERGER. In [`FoldMode::Fused`] every worker also accumulates its
+/// tiles' partial [`Accum`] tables (contention-free: partials live in
+/// the tile's own label range; neighbour probes read raw pixels, never
+/// another worker's labels). The horizontal carry seam is the merge
+/// stage's job ([`merge_carry_seam_parallel`]).
+#[allow(clippy::too_many_arguments)]
 fn scan_tile_row_parallel<M: ConcurrentMerger>(
     tiles: &[BinaryImage],
     widths: &[usize],
+    x0s: &[usize],
     th: usize,
     carry_cap: u32,
-    threads: usize,
+    cfg: &TileGridConfig,
+    r0: usize,
     merger: &M,
-) -> (Vec<Vec<u32>>, ConcurrentParents) {
+) -> ParallelTileScan {
     let ntiles = tiles.len();
-    let threads = threads.max(1);
+    let threads = cfg.threads.max(1);
+    let fused = cfg.fold == FoldMode::Fused;
     // disjoint label ranges, one per tile
     let mut offsets = Vec::with_capacity(ntiles);
     let mut next = carry_cap + 1;
@@ -657,20 +901,48 @@ fn scan_tile_row_parallel<M: ConcurrentMerger>(
         }
     }
     let mut bufs: Vec<Vec<u32>> = widths.iter().map(|&tw| vec![0u32; tw * th]).collect();
+    let mut partials = fused.then(|| vec![Accum::EMPTY; next as usize]);
+    let mut nexts: Vec<u32> = offsets.clone();
 
     // Phase 1: per-tile scans, grouped into contiguous runs of tiles
-    // (contention-free: disjoint ranges, one ChunkStore per group).
+    // (contention-free: disjoint ranges, one ChunkStore per group);
+    // fused mode accumulates each tile's partial table in the same
+    // worker, right after its scan, while the pixels are hot.
     rayon::scope(|s| {
         let mut rest: &mut [Vec<u32>] = &mut bufs;
+        let mut rest_next: &mut [u32] = &mut nexts;
+        let mut rest_parts: &mut [Accum] = match &mut partials {
+            Some(p) => &mut p[(carry_cap as usize + 1)..],
+            None => &mut [],
+        };
         for group in split_spans(ntiles, threads) {
             let (mine, tail) = rest.split_at_mut(group.len());
             rest = tail;
+            let (my_nexts, ntail) = rest_next.split_at_mut(group.len());
+            rest_next = ntail;
+            let group_caps: usize = group
+                .clone()
+                .map(|t| max_labels_two_line(th, widths[t]))
+                .sum();
+            let (my_parts, ptail) = if fused {
+                rest_parts.split_at_mut(group_caps)
+            } else {
+                (&mut [] as &mut [Accum], rest_parts)
+            };
+            rest_parts = ptail;
             let parents = &parents;
             let offsets = &offsets;
             s.spawn(move |_| {
                 let mut store = parents.chunk_store();
-                for (t, buf) in group.zip(mine) {
-                    scan_two_line(&tiles[t], 0..th, buf, &mut store, offsets[t]);
+                let mut parts_rest = my_parts;
+                for ((t, buf), next_out) in group.zip(mine).zip(my_nexts) {
+                    *next_out = scan_two_line(&tiles[t], 0..th, buf, &mut store, offsets[t]);
+                    if fused {
+                        let cap = max_labels_two_line(th, widths[t]);
+                        let (tile_parts, tail) = parts_rest.split_at_mut(cap);
+                        parts_rest = tail;
+                        accumulate_tile(tiles, t, buf, th, r0, x0s[t], offsets[t], tile_parts);
+                    }
                 }
             });
         }
@@ -702,7 +974,8 @@ fn scan_tile_row_parallel<M: ConcurrentMerger>(
         });
     }
 
-    (bufs, parents)
+    let used = offsets.iter().zip(&nexts).map(|(&o, &n)| o..n).collect();
+    (bufs, parents, partials, used)
 }
 
 #[cfg(test)]
@@ -825,6 +1098,28 @@ mod tests {
                 let (par, par_stats) = run_tiled(&img, 7, 5, cfg);
                 assert_eq!(par, seq, "{threads} threads, {merger}");
                 assert_eq!(par_stats, seq_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_fold_is_bit_identical_to_sequential_fold() {
+        let mut state = 77u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        let img = BinaryImage::from_fn(29, 23, |_, _| rnd());
+        for (tw, th) in [(1, 1), (4, 3), (7, 5), (29, 23)] {
+            for threads in [1, 2, 4] {
+                let seq_cfg = TileGridConfig::parallel(threads).with_fold(FoldMode::Sequential);
+                let fused_cfg = TileGridConfig::parallel(threads).with_fold(FoldMode::Fused);
+                let (seq, seq_stats) = run_tiled(&img, tw, th, seq_cfg);
+                let (fused, fused_stats) = run_tiled(&img, tw, th, fused_cfg);
+                assert_eq!(fused, seq, "{tw}x{th} tiles, {threads} threads");
+                assert_eq!(fused_stats, seq_stats);
             }
         }
     }

@@ -70,8 +70,10 @@ where
     let scan_cfg = cfg;
     let merge_result = std::thread::scope(|s| {
         let scanner = s.spawn(move || -> Result<(), TilesError> {
+            let mut r0 = 0usize;
             while let Some(tiles) = source.next_tile_row()? {
-                let row = scan_tile_row(&tiles, width, &scan_cfg, carry_cap)?;
+                let row = scan_tile_row(&tiles, width, &scan_cfg, carry_cap, r0)?;
+                r0 += row.th;
                 drop(tiles); // pixels are dead once scanned
                 if tx.send(row).is_err() {
                     break; // merge stage stopped early (error): unblock and exit

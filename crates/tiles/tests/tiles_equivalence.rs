@@ -180,6 +180,43 @@ proptest! {
         prop_assert_eq!(par, seq, "generator {} threads {}", gen, threads);
     }
 
+    /// Tentpole acceptance: the fused fold (per-tile partial
+    /// accumulators merged at the seams) is bit-identical to the
+    /// sequential per-pixel fold — records *and* stats — across
+    /// generators, tile shapes, thread counts and the pipelined
+    /// executor.
+    #[test]
+    fn fused_fold_bit_identical_to_sequential_fold(
+        gen in 0usize..NUM_GENERATORS,
+        w in 1usize..=16,
+        h in 1usize..=16,
+        tw in 1usize..=9,
+        th in 1usize..=9,
+        threads in 1usize..=6,
+        pipelined in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use ccl_stream::FoldMode;
+        use ccl_tiles::analyze_tiles_pipelined;
+        let img = generator_image(gen, w, h, seed);
+        let run = |fold: FoldMode| {
+            let cfg = TileGridConfig::parallel(threads).with_fold(fold);
+            let mut src = GridSource::from_image(&img, tw, th);
+            if pipelined {
+                analyze_tiles_pipelined(&mut src, cfg).unwrap()
+            } else {
+                analyze_tiles(&mut src, cfg).unwrap()
+            }
+        };
+        let (seq_records, seq_stats) = run(FoldMode::Sequential);
+        let (fused_records, fused_stats) = run(FoldMode::Fused);
+        prop_assert_eq!(
+            fused_records, seq_records,
+            "generator {} tiles {}x{} threads {} pipelined {}", gen, tw, th, threads, pipelined
+        );
+        prop_assert_eq!(fused_stats, seq_stats);
+    }
+
     /// Labeled-tile output reconciles into the exact whole-image
     /// partition.
     #[test]
